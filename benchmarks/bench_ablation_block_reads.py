@@ -1,0 +1,63 @@
+"""A5: per-element split-phase reads vs. EMC-Y block-read transfers.
+
+The EMC-Y implements "four types of send instructions … including remote
+read request for one data and for a block of data".  The paper's sorting
+loop reads element by element (that loop *is* the 12-cycle run length
+the whole analysis builds on); this ablation shows what the block-read
+instruction would change: one suspension per chunk, far fewer switches,
+wide reply packets occupying port bandwidth instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SwitchKind
+from repro.apps import run_bitonic
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+P, NPP = 16, 64
+THREADS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for h in THREADS:
+        element = run_bitonic(n_pes=P, n=P * NPP, h=h, seed=11)
+        block = run_bitonic(n_pes=P, n=P * NPP, h=h, seed=11, block_reads=True)
+        assert element.sorted_ok and block.sorted_ok
+        out.append(
+            [
+                h,
+                round(element.report.runtime_seconds * 1e6, 1),
+                round(block.report.runtime_seconds * 1e6, 1),
+                round(element.report.switches(SwitchKind.REMOTE_READ)),
+                round(block.report.switches(SwitchKind.REMOTE_READ)),
+                round(element.report.runtime_seconds / block.report.runtime_seconds, 2),
+            ]
+        )
+    return out
+
+
+def test_block_read_ablation(benchmark, rows, outdir):
+    publish(
+        outdir,
+        "ablation_block_reads",
+        format_table(
+            ["threads", "element [us]", "block [us]", "el switches", "blk switches", "speedup"],
+            rows,
+            title="A5: per-element vs block remote reads (bitonic sorting)",
+        ),
+    )
+    for row in rows:
+        assert row[4] < row[3] / 4  # switches collapse
+        assert row[5] > 1.0  # block transfers win outright
+
+    benchmark.pedantic(
+        lambda: run_bitonic(n_pes=P, n=P * NPP, h=4, seed=12, block_reads=True),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,57 @@
+"""A1: the by-passing DMA vs. EM-4-style EXU read servicing.
+
+The paper singles out the IBU→MCU→OBU by-pass path as EM-X's key
+feature: remote reads are serviced "without consuming the cycles of the
+Execution Unit", whereas the EM-4 predecessor treated each read as a
+one-instruction thread.  This ablation runs the same workloads in both
+modes and reports the slowdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_app
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+CONFIGS = [("sort", 16, 64, 4), ("fft", 16, 64, 4)]
+
+
+@pytest.fixture(scope="module")
+def results():
+    rows = []
+    for app, n_pes, npp, h in CONFIGS:
+        emx = run_app(app, n_pes, npp, h)
+        em4 = run_app(app, n_pes, npp, h, em4_mode=True)
+        rows.append(
+            [
+                app,
+                h,
+                round(emx.runtime_seconds * 1e6, 1),
+                round(em4.runtime_seconds * 1e6, 1),
+                round(em4.runtime_seconds / emx.runtime_seconds, 3),
+            ]
+        )
+    return rows
+
+
+def test_bypass_dma_ablation(benchmark, results, outdir):
+    publish(
+        outdir,
+        "ablation_bypass_dma",
+        format_table(
+            ["app", "threads", "EM-X [us]", "EM-4 mode [us]", "slowdown"],
+            results,
+            title="A1: by-passing DMA vs EXU-serviced remote reads",
+        ),
+    )
+    for row in results:
+        assert row[-1] > 1.0, f"EM-4 mode should be slower: {row}"
+
+    benchmark.pedantic(
+        lambda: run_app("sort", 16, 64, 4, em4_mode=True, seed=99),
+        rounds=1,
+        iterations=1,
+    )

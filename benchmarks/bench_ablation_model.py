@@ -1,0 +1,63 @@
+"""A2: the Saavedra-Barrera analytic model vs. the simulator.
+
+The paper cites [16]'s linear/transition/saturation analysis and uses
+its arithmetic (latency / run length) to explain the 2–4-thread optimum.
+This ablation compares the model's predicted latency-masking efficiency
+against the simulator's measured idle-communication reduction for both
+workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SaavedraModel
+from repro.experiments import run_app
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+P, NPP = 16, 128
+THREADS = (1, 2, 3, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    for app, model in (
+        ("sort", SaavedraModel.for_sorting(latency=14)),
+        ("fft", SaavedraModel.for_fft(latency=14)),
+    ):
+        base = run_app(app, P, NPP, 1).comm_idle_seconds
+        for h in THREADS:
+            measured = 1.0 - run_app(app, P, NPP, h).comm_idle_seconds / base
+            rows.append(
+                [
+                    app,
+                    h,
+                    model.region(h).value,
+                    round(model.overlap_efficiency(h), 3),
+                    round(measured, 3),
+                ]
+            )
+    return rows
+
+
+def test_model_vs_simulator(benchmark, comparison, outdir):
+    publish(
+        outdir,
+        "ablation_saavedra",
+        format_table(
+            ["app", "threads", "region", "model E", "simulated E"],
+            comparison,
+            title="A2: Saavedra-Barrera latency masking vs simulated idle reduction",
+        ),
+    )
+    for app, h, region, model_e, sim_e in comparison:
+        if h == 1:
+            assert model_e == 0.0 and sim_e == 0.0
+        if region == "saturation" and h > 1:
+            # In saturation both predict near-total masking of latency.
+            assert sim_e > 0.8, (app, h, sim_e)
+
+    benchmark.pedantic(lambda: run_app(app="fft", n_pes=P, npp=NPP, h=3), rounds=1, iterations=1)

@@ -1,0 +1,95 @@
+"""A3: detailed per-stage Omega contention vs. the analytic model,
+plus A4: FIFO vs. priority scheduling of read replies.
+
+The detailed model books every switch output port on a packet's route;
+the analytic model books only the endpoints.  At the paper's traffic
+levels they should agree closely (the fabric is not the bottleneck),
+which justifies using either for the figure sweeps.  The IBU's two
+priority levels let replies overtake invocations; the ablation measures
+whether that matters for these workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_app
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+CONFIGS = [("sort", 16, 64, 4), ("fft", 16, 64, 2)]
+
+
+@pytest.fixture(scope="module")
+def network_rows():
+    rows = []
+    for app, n_pes, npp, h in CONFIGS:
+        detailed = run_app(app, n_pes, npp, h, network_model="detailed")
+        analytic = run_app(app, n_pes, npp, h, network_model="analytic")
+        rows.append(
+            [
+                app,
+                round(detailed.runtime_seconds * 1e6, 1),
+                round(analytic.runtime_seconds * 1e6, 1),
+                round(analytic.runtime_seconds / detailed.runtime_seconds, 4),
+            ]
+        )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def priority_rows():
+    rows = []
+    for app, n_pes, npp, h in CONFIGS:
+        fifo = run_app(app, n_pes, npp, h)
+        prio = run_app(app, n_pes, npp, h, priority_replies=True)
+        rows.append(
+            [
+                app,
+                round(fifo.comm_seconds * 1e6, 1),
+                round(prio.comm_seconds * 1e6, 1),
+                round(prio.runtime_seconds / fifo.runtime_seconds, 4),
+            ]
+        )
+    return rows
+
+
+def test_network_models_agree(benchmark, network_rows, outdir):
+    publish(
+        outdir,
+        "ablation_network",
+        format_table(
+            ["app", "detailed [us]", "analytic [us]", "ratio"],
+            network_rows,
+            title="A3: detailed vs analytic Omega network",
+        ),
+    )
+    for row in network_rows:
+        assert 0.9 < row[-1] < 1.1, row
+
+    benchmark.pedantic(
+        lambda: run_app("fft", 16, 64, 2, network_model="analytic", seed=7),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_priority_replies(benchmark, priority_rows, outdir):
+    publish(
+        outdir,
+        "ablation_priority",
+        format_table(
+            ["app", "FIFO comm [us]", "priority comm [us]", "runtime ratio"],
+            priority_rows,
+            title="A4: FIFO vs high-priority read replies",
+        ),
+    )
+    for row in priority_rows:
+        assert 0.8 < row[-1] < 1.2, row
+
+    benchmark.pedantic(
+        lambda: run_app("sort", 16, 64, 4, priority_replies=True, seed=7),
+        rounds=1,
+        iterations=1,
+    )

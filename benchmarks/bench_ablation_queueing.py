@@ -1,0 +1,86 @@
+"""A7: the closed-form fabric load model vs. the detailed simulator.
+
+Sweeps offered load on the 64-PE circular Omega and compares the M/D/1
+hotspot model's predicted one-way latency against measured means — the
+quantitative backing for the paper's "1 to 2 µs when the network is
+normally loaded" and for EXPERIMENTS.md's fabric-boundedness analysis.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import OmegaLoadModel
+from repro.config import TimingModel
+from repro.metrics.report import format_table
+from repro.network import CircularOmegaTopology, DetailedOmegaNetwork
+from repro.packet import Packet, PacketKind
+from repro.sim import Engine
+
+from conftest import publish
+
+N_PES = 64
+SPACINGS = (128, 48, 24, 12)
+
+
+def _simulate(spacing: int, packets_per_pe: int = 30) -> tuple[float, float]:
+    """Returns (measured mean latency, measured hottest-port util)."""
+    rng = random.Random(13)
+    engine = Engine()
+    net = DetailedOmegaNetwork(engine, CircularOmegaTopology(N_PES), TimingModel())
+    for pe in range(N_PES):
+        net.attach(pe, lambda p: None)
+    # Poisson-like arrivals: uniformly random injection times at the
+    # target mean rate (the M/D/1 model's assumption; lock-step waves
+    # would measure transient burst congestion instead).
+    horizon = packets_per_pe * spacing
+    for src in range(N_PES):
+        for _ in range(packets_per_pe):
+            engine.schedule(
+                rng.randrange(horizon),
+                net.send,
+                Packet(kind=PacketKind.WRITE, src=src, dst=rng.randrange(N_PES), data=0),
+            )
+    engine.run()
+    hottest = net.hottest_ports(top=1)
+    return net.stats.mean_latency, hottest[0][1] if hottest else 0.0
+
+
+@pytest.fixture(scope="module")
+def rows():
+    model = OmegaLoadModel(n_pes=N_PES, eject_cycles=TimingModel().eject)
+    out = []
+    for spacing in SPACINGS:
+        rate = 1.0 / spacing
+        measured, hot_util = _simulate(spacing)
+        predicted = model.one_way_latency(min(rate, model.saturation_load() * 0.95))
+        out.append(
+            [
+                f"1/{spacing}",
+                round(measured, 1),
+                round(predicted, 1),
+                round(measured / predicted, 2),
+                round(hot_util, 3),
+            ]
+        )
+    return out
+
+
+def test_load_model_tracks_simulator(benchmark, rows, outdir):
+    publish(
+        outdir,
+        "ablation_queueing",
+        format_table(
+            ["load [pkt/cyc/PE]", "simulated [cyc]", "model [cyc]", "ratio", "hot port util"],
+            rows,
+            title="A7: M/D/1 hotspot model vs detailed Omega (one-way latency)",
+        ),
+    )
+    ratios = [r[3] for r in rows]
+    assert all(0.8 < r < 1.25 for r in ratios), ratios
+    sims = [r[1] for r in rows]
+    assert sims == sorted(sims), "latency should grow with offered load"
+
+    benchmark.pedantic(lambda: _simulate(24), rounds=1, iterations=1)

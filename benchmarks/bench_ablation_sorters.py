@@ -1,0 +1,62 @@
+"""A6: Batcher's bitonic sort vs the odd-even transposition baseline.
+
+The paper selects bitonic sorting for its communication structure; this
+ablation quantifies what that choice buys over the simplest distributed
+sorter at the same thread structure: log P (log P + 1)/2 hypercube merge
+iterations versus P neighbour rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_bitonic, run_transpose_sort
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+NPP = 64
+H = 4
+PES = (4, 8, 16)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    out = []
+    for P in PES:
+        biton = run_bitonic(n_pes=P, n=P * NPP, h=H, seed=21)
+        trans = run_transpose_sort(n_pes=P, n=P * NPP, h=H, seed=21)
+        assert biton.sorted_ok and trans.sorted_ok
+        out.append(
+            [
+                P,
+                round(biton.report.runtime_seconds * 1e6, 1),
+                round(trans.report.runtime_seconds * 1e6, 1),
+                round(trans.report.runtime_seconds / biton.report.runtime_seconds, 2),
+                (P.bit_length() - 1) * P.bit_length() // 2,
+                P,
+            ]
+        )
+    return out
+
+
+def test_sorter_ablation(benchmark, rows, outdir):
+    publish(
+        outdir,
+        "ablation_sorters",
+        format_table(
+            ["P", "bitonic [us]", "transposition [us]", "slowdown", "bitonic iters", "transp iters"],
+            rows,
+            title=f"A6: bitonic vs odd-even transposition (n/P={NPP}, h={H})",
+        ),
+    )
+    # Bitonic must win, and the gap must widen with P (log^2 vs linear).
+    slowdowns = [row[3] for row in rows]
+    assert all(s > 1.0 for s in slowdowns)
+    assert slowdowns[-1] > slowdowns[0]
+
+    benchmark.pedantic(
+        lambda: run_transpose_sort(n_pes=8, n=8 * NPP, h=H, seed=22),
+        rounds=1,
+        iterations=1,
+    )

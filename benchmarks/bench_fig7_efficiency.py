@@ -1,0 +1,52 @@
+"""Figure 7: efficiency of overlapping (all four panels).
+
+Reproduction target: FFT overlaps > 95 % of its communication with two
+to four threads; sorting overlaps far less (the paper: ≈ 35 % — our
+exact-accounting simulator lands higher; see EXPERIMENTS.md) and the
+two workloads stay clearly separated.  Efficiency at one thread is zero
+by definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_bitonic, run_fft
+from repro.experiments import check_efficiency_bands, fig7_panel, format_fig7
+from repro.experiments.fig6 import PANELS
+
+from conftest import BENCH_THREADS, publish
+
+
+@pytest.fixture(scope="module")
+def panels(scale):
+    return {p: fig7_panel(p, scale, BENCH_THREADS) for p in sorted(PANELS)}
+
+
+@pytest.mark.parametrize("pair", [("a", "c"), ("b", "d")])
+def test_fig7_panel_pair(benchmark, pair, panels, scale, outdir):
+    """Check sorting/FFT efficiency bands per machine size."""
+    sort_panel, fft_panel = pair
+    n_pes = getattr(scale, PANELS[sort_panel][1])
+    for p in pair:
+        publish(outdir, f"fig7{p}", format_fig7(p, panels[p], n_pes))
+
+    npp = scale.sizes_for(n_pes)[-1]
+    fft_floor = 0.90 if n_pes == scale.p_small else 0.80
+    problems = check_efficiency_bands(
+        panels[sort_panel][npp], panels[fft_panel][npp], fft_floor=fft_floor
+    )
+    assert problems == [], problems
+    # The paper's FFT headline: > 95 % with 2-4 threads.  Our P=16
+    # machine reaches it; at P=64 the detailed Omega fabric is
+    # throughput-bound under the all-pairs traffic, leaving a few
+    # percent of reply latency unmaskable (see EXPERIMENTS.md).
+    headline = 0.95 if n_pes == scale.p_small else 0.85
+    assert max(panels[fft_panel][npp][h] for h in (2, 4)) > headline
+
+    runner = run_fft
+    benchmark.pedantic(
+        lambda: runner(n_pes=n_pes, n=n_pes * scale.small_size, h=2),
+        rounds=1,
+        iterations=1,
+    )

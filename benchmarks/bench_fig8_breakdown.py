@@ -1,0 +1,40 @@
+"""Figure 8: distribution of execution time on the 64-PE machine.
+
+Reproduction target: the four components stack to 100 %; the one-thread
+run shows relatively more communication (no overlapping possible);
+switching grows with the thread count; FFT is computation-dominated
+while sorting is not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_bitonic, run_fft
+from repro.experiments import check_fig8_components, fig8_panel, format_fig8
+from repro.experiments.fig8 import PANELS
+
+from conftest import BENCH_THREADS, publish
+
+
+@pytest.fixture(scope="module")
+def panels(scale):
+    return {p: fig8_panel(p, scale, BENCH_THREADS) for p in sorted(PANELS)}
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig8_panel(benchmark, panel, panels, scale, outdir):
+    app, size_role = PANELS[panel]
+    npp = scale.small_size if size_role == "small" else scale.large_size
+    series = panels[panel]
+    publish(outdir, f"fig8{panel}", format_fig8(panel, series, scale.p_large, npp))
+
+    problems = check_fig8_components(series, app)
+    assert problems == [], problems
+
+    runner = run_bitonic if app == "sort" else run_fft
+    benchmark.pedantic(
+        lambda: runner(n_pes=scale.p_large, n=scale.p_large * scale.small_size, h=8),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,42 @@
+"""Figure 9: average number of context switches per processor, by type.
+
+Reproduction target: remote-read switches are flat in h and derivable
+from (n, h, P); iteration-sync switches grow with h and rival
+remote-read switching at 16 threads on the small problem; thread-sync
+switches exist for sorting but (nearly) vanish for FFT, with a wide gap
+below iteration-sync for FFT.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import run_bitonic, run_fft
+from repro.experiments import check_fig9_orderings, fig9_panel, format_fig9
+from repro.experiments.fig8 import PANELS
+
+from conftest import BENCH_THREADS, publish
+
+
+@pytest.fixture(scope="module")
+def panels(scale):
+    return {p: fig9_panel(p, scale, BENCH_THREADS) for p in sorted(PANELS)}
+
+
+@pytest.mark.parametrize("panel", sorted(PANELS))
+def test_fig9_panel(benchmark, panel, panels, scale, outdir):
+    app, size_role = PANELS[panel]
+    small = size_role == "small"
+    npp = scale.small_size if small else scale.large_size
+    series = panels[panel]
+    publish(outdir, f"fig9{panel}", format_fig9(panel, series, scale.p_large, npp))
+
+    problems = check_fig9_orderings(series, app, small_problem=small)
+    assert problems == [], problems
+
+    runner = run_bitonic if app == "sort" else run_fft
+    benchmark.pedantic(
+        lambda: runner(n_pes=scale.p_large, n=scale.p_large * npp, h=16),
+        rounds=1,
+        iterations=1,
+    )

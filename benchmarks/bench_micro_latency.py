@@ -1,0 +1,45 @@
+"""µ1: remote-read latency — "a typical remote read takes ≈ 1 µs".
+
+Reproduction target: sequential split-phase reads against targets at
+varied hop distances round-trip in 20–40 EMC-Y cycles, i.e. on the
+order of a microsecond at 20 MHz.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import measure_remote_read_latency
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def latency_points():
+    return measure_remote_read_latency(n_pes=64, reads=256)
+
+
+def test_remote_read_latency(benchmark, latency_points, outdir):
+    rows = [
+        [p.target, p.hops, round(p.roundtrip_cycles, 1), round(p.microseconds, 3)]
+        for p in latency_points
+    ]
+    publish(
+        outdir,
+        "micro_latency",
+        format_table(
+            ["target PE", "hops", "roundtrip [cyc]", "latency [us]"],
+            rows,
+            title="u1: remote read latency on the 64-PE machine (paper: ~1 us)",
+        ),
+    )
+    for p in latency_points:
+        assert 8 <= p.roundtrip_cycles <= 40
+        assert 0.3 <= p.microseconds <= 2.0
+
+    benchmark.pedantic(
+        lambda: measure_remote_read_latency(n_pes=64, reads=256, targets=(32,)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,40 @@
+"""µ2: packet-generation overhead via the paper's null-loop probe.
+
+Reproduction target: a loop body with no computation — only
+packet-generating instructions — charges exactly the packet-generation
+cost (one clock per packet on the EMC-Y), and that overhead is what the
+Fig. 8 OVERHEAD band measures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import measure_overhead_null_loop
+from repro.metrics.report import format_table
+
+from conftest import publish
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    return measure_overhead_null_loop(n_pes=16, writes=2048)
+
+
+def test_null_loop_overhead(benchmark, overhead, outdir):
+    publish(
+        outdir,
+        "micro_overhead",
+        format_table(
+            ["writes", "overhead [cyc]", "cycles/packet"],
+            [[overhead.writes, overhead.overhead_cycles, overhead.cycles_per_packet]],
+            title="u2: null-loop packet generation overhead (EMC-Y: 1 clock)",
+        ),
+    )
+    assert overhead.cycles_per_packet == pytest.approx(1.0)
+
+    benchmark.pedantic(
+        lambda: measure_overhead_null_loop(n_pes=16, writes=2048),
+        rounds=1,
+        iterations=1,
+    )

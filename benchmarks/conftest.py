@@ -1,0 +1,45 @@
+"""Shared fixtures for the figure-regeneration benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_fig*.py`` module regenerates one figure of the paper: it
+sweeps the thread counts and data sizes at the active ``REPRO_SCALE``,
+writes the series as a text table under ``benchmarks/out/``, asserts the
+paper's qualitative shape, and benchmarks one representative simulation
+as the timed subject.  Runs are memoised process-wide, so Fig. 7 reuses
+Fig. 6's sweep and Figs. 8/9 share theirs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import default_scale
+
+#: Thread counts swept by the harness (a 6-point subset of the paper's
+#: 1..16 x-axis keeps the default run under ~15 minutes).
+BENCH_THREADS = (1, 2, 3, 4, 8, 16)
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def outdir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def publish(outdir: pathlib.Path, name: str, text: str) -> None:
+    """Write one regenerated figure to disk and echo it to stdout."""
+    path = outdir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

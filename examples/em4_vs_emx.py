@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Architecture ablation: the by-passing DMA against EM-4-style service.
+
+EM-X's key feature is that remote read requests never touch the remote
+Execution Unit — the Input Buffer Unit reads memory through a by-passing
+DMA and the Output Buffer Unit fires the reply.  Its predecessor, EM-4,
+"treats a remote read as another 1-instruction thread which consumes
+processor cycles" (§2.1).  This example runs the same workloads both
+ways and shows where the stolen cycles land.
+
+Run:  python examples/em4_vs_emx.py
+"""
+
+from repro import Bucket, MachineConfig
+from repro.apps import run_bitonic, run_fft
+from repro.metrics.report import format_table
+
+P = 8
+NPP = 128
+
+
+def run_pair(app_name, runner, h):
+    base = MachineConfig(n_pes=P)
+    emx = runner(n_pes=P, n=P * NPP, h=h, config=base)
+    em4 = runner(n_pes=P, n=P * NPP, h=h, config=base.with_(em4_mode=True))
+    ok = emx.sorted_ok if app_name == "sort" else emx.verified
+    ok4 = em4.sorted_ok if app_name == "sort" else em4.verified
+    assert ok and ok4
+    stolen = sum(c.cycles[Bucket.OVERHEAD] for c in em4.report.counters) - sum(
+        c.cycles[Bucket.OVERHEAD] for c in emx.report.counters
+    )
+    return [
+        app_name,
+        h,
+        round(emx.report.runtime_seconds * 1e6, 1),
+        round(em4.report.runtime_seconds * 1e6, 1),
+        f"{(em4.report.runtime_seconds / emx.report.runtime_seconds - 1) * 100:.1f}%",
+        stolen,
+    ]
+
+
+def main() -> None:
+    rows = []
+    for h in (1, 4):
+        rows.append(run_pair("sort", run_bitonic, h))
+        rows.append(run_pair("fft", run_fft, h))
+    print(
+        format_table(
+            ["app", "threads", "EM-X [us]", "EM-4 mode [us]", "slowdown", "EXU cycles stolen"],
+            rows,
+            title=f"By-passing DMA ablation ({P} PEs, n/P={NPP})",
+        )
+    )
+    print(
+        "\nEvery remote read serviced on the EXU steals cycles from the\n"
+        "victim's own threads — the cost compounds exactly where traffic\n"
+        "is heaviest, which is why EM-X moved read service into the IBU."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multithreaded FFT: near-total communication/computation overlap.
+
+Transforms 1024 points on 8 processors, sweeping threads per processor.
+FFT has no data dependence inside an iteration — no thread
+synchronisation, a butterfly worth hundreds of cycles per point — so two
+to four threads hide essentially all the remote-read latency (the
+paper's ">95 % overlap" headline).  The full transform is verified
+against numpy.fft at the end.
+
+Run:  python examples/fft_overlap.py
+"""
+
+import numpy as np
+
+from repro import overlap_series
+from repro.apps import run_fft
+from repro.apps.reference import bit_reverse_permute
+from repro.metrics.report import format_table
+
+P = 8
+N = P * 128
+THREADS = (1, 2, 3, 4, 8)
+
+
+def main() -> None:
+    comm = {}
+    rows = []
+    for h in THREADS:
+        result = run_fft(n_pes=P, n=N, h=h, seed=7)
+        assert result.verified, f"FFT wrong at h={h}: err={result.max_error}"
+        report = result.report
+        comm[h] = report.comm_fig6_seconds
+        pct = report.breakdown.percentages()
+        rows.append(
+            [
+                h,
+                round(report.runtime_seconds * 1e6, 1),
+                round(report.comm_fig6_seconds * 1e6, 2),
+                round(pct["computation"], 1),
+                round(pct["communication"], 1),
+                round(pct["switching"], 1),
+            ]
+        )
+
+    print(
+        format_table(
+            ["threads", "runtime [us]", "comm [us]", "comp %", "comm %", "switch %"],
+            rows,
+            title=f"{N}-point FFT on {P} processors (communication stages)",
+        )
+    )
+    eff = overlap_series(comm)
+    print()
+    for h in (2, 3, 4):
+        print(f"overlap efficiency at h={h}: {eff[h] * 100:.1f}%  (paper: >95%)")
+
+    # Full-transform verification against numpy.
+    full = run_fft(n_pes=P, n=256, h=4, comm_stages_only=False, seed=7)
+    natural = bit_reverse_permute(full.output)
+    rng = np.random.default_rng(7)
+    data = [complex(a, b) for a, b in zip(rng.standard_normal(256), rng.standard_normal(256))]
+    err = float(np.max(np.abs(np.array(natural) - np.fft.fft(np.array(data)))))
+    print(f"\nfull 256-point transform vs numpy.fft: max |error| = {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

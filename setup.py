@@ -1,0 +1,6 @@
+"""Legacy setup shim: keeps editable installs working on environments
+whose setuptools predates PEP 660 (offline CI boxes without `wheel`)."""
+
+from setuptools import setup
+
+setup()

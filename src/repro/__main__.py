@@ -1,0 +1,163 @@
+"""Command-line entry point: regenerate any figure from the paper.
+
+Usage::
+
+    python -m repro fig6 a            # one panel of Fig. 6
+    python -m repro fig7 c            # overlap efficiency panel
+    python -m repro fig8 b            # execution-time breakdown panel
+    python -m repro fig9 d            # switch-count panel
+    python -m repro micro             # µ1 latency + µ2 overhead probes
+    python -m repro sort --pes 8 --size 128 --threads 4
+    python -m repro fft  --pes 8 --size 128 --threads 4
+
+``REPRO_SCALE`` (tiny | small | large) picks the figure size ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .apps import run_bitonic, run_fft
+from .experiments import (
+    default_scale,
+    fig6_panel,
+    fig7_panel,
+    fig8_panel,
+    fig9_panel,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    measure_overhead_null_loop,
+    measure_remote_read_latency,
+)
+from .experiments.fig6 import PANELS as FIG6_PANELS
+from .experiments.fig8 import PANELS as FIG8_PANELS
+from .metrics.counters import SwitchKind
+from .metrics.report import format_table
+
+
+def _cmd_figure(args: argparse.Namespace) -> None:
+    scale = default_scale()
+    panel = args.panel
+    if args.figure in ("fig6", "fig7"):
+        n_pes = getattr(scale, FIG6_PANELS[panel][1])
+        if args.figure == "fig6":
+            series = fig6_panel(panel, scale)
+            print(format_fig6(panel, series, n_pes))
+            if args.plot:
+                from .metrics import plot_curves
+
+                curves = {f"n/P={npp}": curve for npp, curve in sorted(series.items())}
+                print()
+                print(plot_curves(curves, title=f"Fig 6({panel})", ylabel="comm [s]"))
+        else:
+            print(format_fig7(panel, fig7_panel(panel, scale), n_pes))
+    else:
+        _, size_role = FIG8_PANELS[panel]
+        npp = scale.small_size if size_role == "small" else scale.large_size
+        if args.figure == "fig8":
+            print(format_fig8(panel, fig8_panel(panel, scale), scale.p_large, npp))
+        else:
+            print(format_fig9(panel, fig9_panel(panel, scale), scale.p_large, npp))
+
+
+def _cmd_micro(_args: argparse.Namespace) -> None:
+    points = measure_remote_read_latency(n_pes=64, reads=256)
+    rows = [[p.target, p.hops, round(p.roundtrip_cycles, 1), round(p.microseconds, 3)]
+            for p in points]
+    print(format_table(["target PE", "hops", "roundtrip [cyc]", "latency [us]"], rows,
+                       title="u1: remote read latency (paper: ~1 us)"))
+    ov = measure_overhead_null_loop()
+    print(f"\nu2: null-loop overhead: {ov.cycles_per_packet:.2f} cycles/packet "
+          f"(EMC-Y: packet generation takes one clock)")
+
+
+def _cmd_export(args: argparse.Namespace) -> None:
+    from .experiments import export_all
+
+    for path in export_all(args.outdir):
+        print(f"wrote {path}")
+
+
+def _cmd_goldens(args: argparse.Namespace) -> None:
+    from .experiments.goldens import compare_goldens, write_goldens
+
+    if args.write:
+        print(f"wrote {write_goldens(args.write)}")
+    elif args.check:
+        problems = compare_goldens(args.check)
+        if problems:
+            print("\n".join(problems))
+            sys.exit(1)
+        print("goldens match")
+    else:
+        print("pass --write DIR or --check DIR")
+        sys.exit(2)
+
+
+def _cmd_app(args: argparse.Namespace) -> None:
+    runner = run_bitonic if args.app == "sort" else run_fft
+    result = runner(n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed)
+    ok = result.sorted_ok if args.app == "sort" else result.verified
+    report = result.report
+    if args.json:
+        from .metrics import report_to_json
+
+        print(report_to_json(report, indent=2))
+        if not ok:
+            sys.exit(1)
+        return
+    print(f"{args.app}: n={args.pes * args.size} P={args.pes} h={args.threads} "
+          f"-> {'OK' if ok else 'WRONG RESULT'}")
+    print(f"runtime {report.runtime_cycles} cycles "
+          f"({report.runtime_seconds * 1e6:.1f} us); "
+          f"communication {report.comm_fig6_seconds * 1e6:.1f} us")
+    pct = report.breakdown.percentages()
+    print("breakdown: " + ", ".join(f"{k} {v:.1f}%" for k, v in pct.items()))
+    print("switches/PE: " + ", ".join(
+        f"{k.value} {report.switches(k):.0f}" for k in SwitchKind))
+    if not ok:
+        sys.exit(1)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig, panels in (("fig6", FIG6_PANELS), ("fig7", FIG6_PANELS),
+                        ("fig8", FIG8_PANELS), ("fig9", FIG8_PANELS)):
+        p = sub.add_parser(fig, help=f"regenerate one panel of {fig}")
+        p.add_argument("panel", choices=sorted(panels))
+        p.add_argument("--plot", action="store_true",
+                       help="also draw an ASCII chart (fig6 only)")
+        p.set_defaults(func=_cmd_figure, figure=fig)
+
+    p = sub.add_parser("micro", help="run the point-measurement probes")
+    p.set_defaults(func=_cmd_micro)
+
+    p = sub.add_parser("export", help="regenerate all figures as CSV")
+    p.add_argument("--outdir", default="figures_csv")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("goldens", help="check or regenerate golden runs")
+    p.add_argument("--write", metavar="DIR", help="write fresh goldens to DIR")
+    p.add_argument("--check", metavar="DIR", help="diff fresh runs against DIR")
+    p.set_defaults(func=_cmd_goldens)
+
+    for app in ("sort", "fft"):
+        p = sub.add_parser(app, help=f"run one {app} configuration")
+        p.add_argument("--pes", type=int, default=8)
+        p.add_argument("--size", type=int, default=128, help="elements per PE")
+        p.add_argument("--threads", type=int, default=4)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--json", action="store_true", help="emit the full report as JSON")
+        p.set_defaults(func=_cmd_app, app=app)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

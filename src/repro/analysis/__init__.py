@@ -1,0 +1,14 @@
+"""Analytic models.
+
+:mod:`~repro.analysis.saavedra` implements the multithreaded-processor
+model of Saavedra-Barrera, Culler & von Eicken (SPAA 1990) — the paper's
+reference [16].  It predicts processor efficiency from run length R,
+latency L and switch cost C, and classifies operation into the linear,
+transition and saturation regions the EM-X paper cites.  Experiment A2
+cross-validates the simulator against it.
+"""
+
+from .queueing import OmegaLoadModel
+from .saavedra import Region, SaavedraModel
+
+__all__ = ["SaavedraModel", "Region", "OmegaLoadModel"]

@@ -1,0 +1,37 @@
+"""The paper's workloads, written against the thread library.
+
+* :mod:`~repro.apps.bitonic` — multithreaded bitonic sorting (§3.1):
+  element-by-element split-phase reads with a 12-cycle loop body,
+  token-ordered merges (thread synchronisation), early termination
+  ("not all the elements residing in the mate processor need to be
+  read"), and an iteration barrier.
+* :mod:`~repro.apps.fft` — multithreaded blocked FFT (§3.2): two remote
+  reads per point, a hundreds-of-cycles butterfly, no thread
+  synchronisation, an iteration barrier.
+* :mod:`~repro.apps.reference` — pure-Python references used to verify
+  the simulated results (sortedness, DIF-FFT stage equivalence).
+"""
+
+from . import datagen
+from .bitonic import BitonicResult, run_bitonic
+from .fft import FFTResult, run_fft
+from .reference import bit_reverse_permute, dif_fft_stages, reference_bitonic_schedule
+
+__all__ = [
+    "run_bitonic",
+    "BitonicResult",
+    "run_fft",
+    "FFTResult",
+    "dif_fft_stages",
+    "bit_reverse_permute",
+    "reference_bitonic_schedule",
+    "datagen",
+]
+
+from .transpose import TransposeResult, run_transpose_sort  # noqa: E402
+
+__all__ += ["run_transpose_sort", "TransposeResult"]
+
+from .emc_bitonic import EmcBitonicResult, run_emc_bitonic  # noqa: E402
+
+__all__ += ["run_emc_bitonic", "EmcBitonicResult"]

@@ -1,0 +1,235 @@
+"""Multithreaded bitonic sorting written in EM-C.
+
+The same §3.1 algorithm as :mod:`repro.apps.bitonic`, but expressed in
+the thread-library language the paper's programs were actually written
+in — every run length is charged from the source text by the EM-C
+compiler rather than from hand-written :class:`Compute` budgets.
+
+Per-processor memory layout (word offsets)::
+
+    STABLE  [0,        npp)        the mate-readable sorted list
+    OUT     [npp,      2·npp)      the merge output being built
+    BUF     [2·npp,    3·npp)      per-thread read buffers (chunk slices)
+    LI      3·npp                  merge cursor into STABLE
+    COUNT   3·npp + 1              merged output count
+    DONE    3·npp + 2              early-termination flag
+
+Shared state lives in memory words, exactly as a C program on the
+hardware would keep it; the merge-order token and the iteration barrier
+come from the host environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..core.sync import OrderToken
+from ..errors import ProgramError
+from ..machine import EMX, MachineReport
+from ..emc import load_emc
+from .reference import ilog2, is_power_of_two
+
+__all__ = ["run_emc_bitonic", "EmcBitonicResult", "EMC_BITONIC_SOURCE"]
+
+EMC_BITONIC_SOURCE = """
+// Multithreaded bitonic sorting, one worker thread of h per processor.
+// Parameters: t = thread index, h = threads/PE, npp = elements/PE,
+// logp = log2(P), tok = this PE's merge-order token (a host object
+// passed like a pointer argument).  Global from env: bar (barrier).
+thread bitonic_worker(t, h, npp, logp, tok) {
+    var stable = 0;
+    var out = npp;
+    var buf = 2 * npp;
+    var li_addr = 3 * npp;
+    var count_addr = 3 * npp + 1;
+    var done_addr = 3 * npp + 2;
+
+    // ---- local sort: thread 0 runs insertion sort on the block ----
+    if (t == 0) {
+        for (var i = 1; i < npp; i = i + 1) {
+            var key = mem[stable + i];
+            var j = i - 1;
+            while (j >= 0 && mem[stable + j] > key) {
+                mem[stable + j + 1] = mem[stable + j];
+                j = j - 1;
+            }
+            mem[stable + j + 1] = key;
+        }
+    }
+    barrier_wait(bar);
+
+    for (var st = 0; st < logp; st = st + 1) {
+        for (var sub = st; sub >= 0; sub = sub - 1) {
+            // mate = pe XOR 2^sub; direction from bit st+1 of pe.
+            var bit = 1;
+            for (var s = 0; s < sub; s = s + 1) { bit = bit * 2; }
+            var stagebit = 1;
+            for (var s8 = 0; s8 <= st; s8 = s8 + 1) { stagebit = stagebit * 2; }
+            var mate = pe() + bit;
+            if ((pe() / bit) % 2 == 1) { mate = pe() - bit; }
+            var asc = (pe() / stagebit) % 2 == 0;
+            var keep_low = 0;
+            if (pe() < mate) { keep_low = asc; } else { keep_low = !asc; }
+
+            // chunk bounds (balanced partition; reversed for keep-high)
+            var chunk = t;
+            if (!keep_low) { chunk = h - 1 - t; }
+            var lo = chunk * npp / h;
+            var hi = (chunk + 1) * npp / h;
+
+            // ---- phase A: split-phase reads, element by element ----
+            var got = 0;
+            for (var k = 0; k < hi - lo; k = k + 1) {
+                if (mem[done_addr]) { break; }
+                var idx = lo + k;                  // ascending chunk
+                if (!keep_low) { idx = hi - 1 - k; } // descending chunk
+                mem[buf + lo + got] = rread(mate, stable + idx);
+                got = got + 1;
+            }
+
+            // ---- phase B: token-ordered merge into OUT ----
+            token_wait(tok, t);
+            var dir = 1;
+            if (!keep_low) { dir = 0 - 1; }
+            var li = mem[li_addr];
+            var count = mem[count_addr];
+            for (var b = 0; b < got; b = b + 1) {
+                if (count >= npp) { break; }
+                var v = mem[buf + lo + b];
+                while (count < npp && li >= 0 && li < npp
+                       && mem[stable + li] * dir <= v * dir) {
+                    mem[out + count] = mem[stable + li];
+                    li = li + dir;
+                    count = count + 1;
+                }
+                if (count >= npp) { break; }
+                mem[out + count] = v;
+                count = count + 1;
+            }
+            if (t == h - 1) {
+                while (count < npp && li >= 0 && li < npp) {
+                    mem[out + count] = mem[stable + li];
+                    li = li + dir;
+                    count = count + 1;
+                }
+            }
+            mem[li_addr] = li;
+            mem[count_addr] = count;
+            if (count >= npp) { mem[done_addr] = 1; }
+            token_advance(tok);
+
+            // ---- phase C: end-of-merge barrier ----
+            barrier_wait(bar);
+
+            // ---- phase D: publish OUT -> STABLE (this thread's slice)
+            var plo = t * npp / h;
+            var phi = (t + 1) * npp / h;
+            for (var i2 = plo; i2 < phi; i2 = i2 + 1) {
+                if (keep_low) { mem[stable + i2] = mem[out + i2]; }
+                else { mem[stable + i2] = mem[out + npp - 1 - i2]; }
+            }
+            barrier_wait(bar);
+            // reset shared merge state for the next iteration
+            if (t == 0) {
+                // direction of the NEXT (st, sub) decides the cursor;
+                // recompute cheaply: next sub is sub-1, or next stage.
+                var nst = st;
+                var nsub = sub - 1;
+                if (nsub < 0) { nst = st + 1; nsub = nst; }
+                var nbit = 1;
+                for (var s2 = 0; s2 < nsub; s2 = s2 + 1) { nbit = nbit * 2; }
+                var nstagebit = 1;
+                for (var s3 = 0; s3 <= nst; s3 = s3 + 1) { nstagebit = nstagebit * 2; }
+                var nmate = pe() + nbit;
+                if ((pe() / nbit) % 2 == 1) { nmate = pe() - nbit; }
+                var nasc = (pe() / nstagebit) % 2 == 0;
+                var nlow = 0;
+                if (pe() < nmate) { nlow = nasc; } else { nlow = !nasc; }
+                mem[li_addr] = 0;
+                if (!nlow) { mem[li_addr] = npp - 1; }
+                mem[count_addr] = 0;
+                mem[done_addr] = 0;
+                token_reset(tok);
+            }
+            barrier_wait(bar);
+        }
+    }
+}
+"""
+
+
+@dataclass
+class EmcBitonicResult:
+    """Outcome of the EM-C sort."""
+
+    report: MachineReport
+    n: int
+    n_pes: int
+    h: int
+    sorted_ok: bool
+    output: list[int] = field(repr=False)
+
+
+def run_emc_bitonic(
+    n_pes: int,
+    n: int,
+    h: int,
+    *,
+    config: MachineConfig | None = None,
+    data: list[int] | None = None,
+    seed: int = 0,
+    verify: bool = True,
+) -> EmcBitonicResult:
+    """Sort ``n`` integers with the EM-C implementation.
+
+    Same constraints as :func:`repro.apps.run_bitonic`.  The insertion
+    local sort makes this O(npp²) per block — keep per-PE sizes small;
+    this exists to demonstrate the full paper workload running from
+    EM-C source, not to race the native implementation.
+    """
+    if not is_power_of_two(n_pes):
+        raise ProgramError(f"bitonic sort needs a power-of-two processor count, got {n_pes}")
+    if n % n_pes:
+        raise ProgramError(f"{n} elements do not divide over {n_pes} PEs")
+    npp = n // n_pes
+    if not is_power_of_two(npp):
+        raise ProgramError(f"per-PE element count {npp} must be a power of two")
+    if not (1 <= h <= npp):
+        raise ProgramError(f"thread count {h} must be in 1..{npp}")
+
+    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes))
+    barrier = machine.make_barrier(h)
+    tokens = [OrderToken() for _ in range(n_pes)]
+
+    if data is None:
+        rng = np.random.default_rng(seed)
+        data = [int(x) for x in rng.integers(0, 2**31, size=n)]
+    elif len(data) != n:
+        raise ProgramError(f"supplied data has {len(data)} elements, expected {n}")
+
+    log_p = ilog2(n_pes)
+    load_emc(machine, EMC_BITONIC_SOURCE, env={"bar": barrier})
+    for pe in range(n_pes):
+        proc = machine.pes[pe]
+        proc.memory.write_block(0, list(data[pe * npp : (pe + 1) * npp]))
+        # Seed the merge cursor for the first (st=0, sub=0) iteration:
+        # keep-high processors merge from the top of their list.
+        mate0 = pe ^ 1
+        asc0 = ((pe >> 1) & 1) == 0
+        keep_low0 = (pe < mate0) == asc0
+        proc.memory.write(3 * npp, 0 if keep_low0 else npp - 1)
+        for t in range(h):
+            machine.spawn(pe, "bitonic_worker", t, h, npp, log_p, tokens[pe])
+
+    report = machine.run()
+
+    output: list[int] = []
+    for pe in range(n_pes):
+        output.extend(int(v) for v in machine.pes[pe].memory.read_block(0, npp))
+    sorted_ok = (not verify) or output == sorted(int(x) for x in data)
+    return EmcBitonicResult(
+        report=report, n=n, n_pes=n_pes, h=h, sorted_ok=sorted_ok, output=output
+    )

@@ -1,0 +1,111 @@
+"""Pure-Python references for verifying the simulated workloads.
+
+These run on the host, outside the simulator, and define *what the
+answer should be*: the bitonic compare-split schedule, and the
+decimation-in-frequency FFT whose first log P stages are exactly the
+communication stages the paper measures.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+from ..errors import ProgramError
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "partition_bounds",
+    "reference_bitonic_schedule",
+    "dif_fft_stages",
+    "bit_reverse_permute",
+]
+
+
+def partition_bounds(total: int, parts: int, index: int) -> tuple[int, int]:
+    """Balanced contiguous partition: half-open bounds of chunk ``index``.
+
+    Splits ``total`` items into ``parts`` chunks whose sizes differ by at
+    most one, so any thread count 1..16 works against any per-PE element
+    count, exactly as the paper sweeps h continuously.
+    """
+    if parts < 1 or not (0 <= index < parts):
+        raise ProgramError(f"partition chunk {index} of {parts}")
+    return index * total // parts, (index + 1) * total // parts
+
+
+def is_power_of_two(x: int) -> bool:
+    """True for 1, 2, 4, 8, …"""
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """log₂ of a power of two (raises otherwise)."""
+    if not is_power_of_two(x):
+        raise ProgramError(f"{x} is not a power of two")
+    return x.bit_length() - 1
+
+
+def reference_bitonic_schedule(n_pes: int) -> list[tuple[int, int]]:
+    """The (stage i, substep j) pairs of hypercube bitonic sort.
+
+    For P processors there are log P stages; stage *i* runs substeps
+    j = i, i−1, …, 0 — the paper's inner j loop.  Total
+    log P (log P + 1) / 2 merge iterations.
+    """
+    log_p = ilog2(n_pes)
+    return [(i, j) for i in range(log_p) for j in range(i, -1, -1)]
+
+
+def compare_split_direction(pe: int, i: int, j: int) -> tuple[int, bool]:
+    """(mate, keep_low) for processor ``pe`` at schedule point (i, j).
+
+    Every processor keeps its list ascending; the bitonic order is
+    realised by which half of the merged pair each keeps.  ``keep_low``
+    is true when this PE keeps the smaller half.
+    """
+    mate = pe ^ (1 << j)
+    ascending = ((pe >> (i + 1)) & 1) == 0
+    return mate, (pe < mate) == ascending
+
+
+def dif_fft_stages(x: list[complex], stages: int) -> list[complex]:
+    """Apply the first ``stages`` decimation-in-frequency FFT stages.
+
+    Stage *s* (0-based) pairs indices ``i`` and ``i + half`` with
+    ``half = n >> (s+1)``::
+
+        x'[i]        = x[i] + x[i+half]
+        x'[i + half] = (x[i] − x[i+half]) · exp(−2πj·(i mod half)/(2·half))
+
+    Applying all log₂ n stages yields the DFT in bit-reversed order
+    (undo with :func:`bit_reverse_permute`).  The paper's measured FFT
+    runs only the first log₂ P stages — the ones that communicate.
+    """
+    n = len(x)
+    log_n = ilog2(n)
+    if not (0 <= stages <= log_n):
+        raise ProgramError(f"{stages} stages for an FFT of {n} points")
+    x = list(x)
+    for s in range(stages):
+        half = n >> (s + 1)
+        for i in range(n):
+            if i & half:
+                continue
+            a, b = x[i], x[i + half]
+            k = i % half if half else 0
+            w = cmath.exp(-2j * cmath.pi * k / (2 * half))
+            x[i] = a + b
+            x[i + half] = (a - b) * w
+    return x
+
+
+def bit_reverse_permute(x: list[complex]) -> list[complex]:
+    """Reorder a bit-reversed sequence into natural order."""
+    n = len(x)
+    bits = ilog2(n)
+    out = [0j] * n
+    for i, v in enumerate(x):
+        r = int(f"{i:0{bits}b}"[::-1], 2) if bits else 0
+        out[r] = v
+    return out

@@ -1,0 +1,206 @@
+"""Odd-even transposition sort: the baseline distributed sorter.
+
+The natural comparison point for bitonic sorting (extension experiment
+A6): P rounds of neighbour compare-splits instead of Batcher's
+log P (log P + 1)/2 pair exchanges.  Same thread structure as the
+multithreaded bitonic implementation — h threads per processor read the
+neighbour's chunk through split-phase reads, merge in token order, and
+synchronise with the iteration barrier — so any performance difference
+is purely algorithmic (O(P) rounds vs O(log² P), all-neighbour traffic
+vs hypercube strides).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import MachineConfig
+from ..core.sync import GlobalBarrier, OrderToken
+from ..errors import ProgramError
+from ..isa.costs import KERNEL_COSTS, KernelCosts
+from ..machine import EMX, MachineReport
+from .bitonic import STABLE_BASE, _fresh_merge_state, _merge_chunk
+from .reference import ilog2, is_power_of_two, partition_bounds
+
+__all__ = ["run_transpose_sort", "TransposeResult", "TransposeParams"]
+
+
+@dataclass
+class TransposeParams:
+    """Per-run constants shared by worker threads via guest state."""
+
+    h: int
+    npp: int
+    rounds: int
+    kernel: KernelCosts
+    barrier: GlobalBarrier
+    read_issue_cycles: int
+    copy_cycles_per_word: int = 2
+
+
+@dataclass
+class TransposeResult:
+    """Outcome of one transposition sort."""
+
+    report: MachineReport
+    n: int
+    n_pes: int
+    h: int
+    sorted_ok: bool
+    output: list[int] = field(repr=False)
+
+
+def _partner(pe: int, rnd: int, n_pes: int) -> int | None:
+    """Neighbour of ``pe`` in round ``rnd`` (odd-even alternation)."""
+    if (pe + rnd) % 2 == 0:
+        mate = pe + 1
+    else:
+        mate = pe - 1
+    return mate if 0 <= mate < n_pes else None
+
+
+def transpose_worker(ctx, t: int):
+    """Thread body of worker ``t`` (of h) on this processor."""
+    st = ctx.state
+    p: TransposeParams = st["params"]
+    bar = p.barrier
+    token: OrderToken = st["token"]
+    h, npp, kc = p.h, p.npp, p.kernel
+    read_body = max(1, kc.sort_read_loop_body - p.read_issue_cycles)
+
+    # ---- Local sort phase (thread 0 sorts; the rest wait). ----
+    if t == 0:
+        L = st["L"]
+        L.sort()
+        ctx.mem.write_block(STABLE_BASE, L)
+        yield ctx.compute(npp * max(1, ilog2(npp)) * kc.sort_local_sort_per_cmp)
+    yield ctx.barrier_wait(bar)
+
+    for rnd in range(p.rounds):
+        mate = _partner(ctx.pe, rnd, ctx.n_pes)
+        if mate is None:
+            # Edge processor sits this round out but keeps the barrier
+            # schedule (two rendezvous per round, like active PEs) and
+            # prepares its merge cursor for the next round.
+            yield ctx.barrier_wait(bar)
+            if t == 0:
+                nxt = _partner(ctx.pe, rnd + 1, ctx.n_pes)
+                st["mi"] = _fresh_merge_state(nxt is not None and ctx.pe < nxt, npp)
+                token.reset()
+            yield ctx.barrier_wait(bar)
+            continue
+        keep_low = ctx.pe < mate
+        mi = st["mi"]
+        L = st["L"]
+
+        # -------- Phase A: split-phase reads of my chunk --------
+        if keep_low:
+            lo, hi = partition_bounds(npp, h, t)
+            indices = range(lo, hi)
+        else:
+            lo, hi = partition_bounds(npp, h, h - 1 - t)
+            indices = range(hi - 1, lo - 1, -1)
+        buf = []
+        for idx in indices:
+            if mi["done"]:
+                break
+            yield ctx.compute(read_body)
+            v = yield ctx.read(ctx.ga(mate, STABLE_BASE + idx))
+            buf.append(v)
+
+        # -------- Phase B: token-ordered merge --------
+        yield ctx.token_wait(token, t)
+        produced = _merge_chunk(mi, L, buf, keep_low, npp, last=(t == h - 1))
+        if produced:
+            yield ctx.compute(produced * kc.sort_merge_per_element)
+        yield ctx.token_advance(token)
+
+        # -------- Phase C: end-of-merge barrier --------
+        yield ctx.barrier_wait(bar)
+
+        # -------- Phase D: publish the new stable list --------
+        final = mi["out"] if keep_low else mi["out"][::-1]
+        lo2, hi2 = partition_bounds(npp, h, t)
+        if hi2 > lo2:
+            ctx.mem.write_block(STABLE_BASE + lo2, final[lo2:hi2])
+            yield ctx.compute(p.copy_cycles_per_word * (hi2 - lo2))
+        if t == 0:
+            st["L"] = final
+            nxt = _partner(ctx.pe, rnd + 1, ctx.n_pes)
+            st["mi"] = _fresh_merge_state(nxt is not None and ctx.pe < nxt, npp)
+            token.reset()
+        yield ctx.barrier_wait(bar)
+
+
+def run_transpose_sort(
+    n_pes: int,
+    n: int,
+    h: int,
+    *,
+    config: MachineConfig | None = None,
+    kernel: KernelCosts | None = None,
+    data: list[int] | None = None,
+    seed: int = 0,
+    verify: bool = True,
+) -> TransposeResult:
+    """Sort ``n`` integers with odd-even transposition over ``n_pes`` PEs.
+
+    Unlike bitonic sorting this works for any processor count ≥ 2 (no
+    power-of-two requirement); ``n / n_pes`` must still divide evenly
+    and be a power of two, and ``1 ≤ h ≤ n/P`` as usual.
+    """
+    if n_pes < 2:
+        raise ProgramError(f"transposition sort needs >= 2 processors, got {n_pes}")
+    if n % n_pes:
+        raise ProgramError(f"{n} elements do not divide over {n_pes} PEs")
+    npp = n // n_pes
+    if not is_power_of_two(npp):
+        raise ProgramError(f"per-PE element count {npp} must be a power of two")
+    if not (1 <= h <= npp):
+        raise ProgramError(f"thread count {h} must be in 1..{npp}")
+
+    kernel = kernel or KERNEL_COSTS
+    kernel.validate()
+    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes))
+    machine.register(transpose_worker)
+    barrier = machine.make_barrier(h)
+    rounds = n_pes  # odd-even transposition needs P rounds
+
+    if data is None:
+        rng = np.random.default_rng(seed)
+        data = [int(x) for x in rng.integers(0, 2**31, size=n)]
+    elif len(data) != n:
+        raise ProgramError(f"supplied data has {len(data)} elements, expected {n}")
+
+    params = TransposeParams(
+        h=h,
+        npp=npp,
+        rounds=rounds,
+        kernel=kernel,
+        barrier=barrier,
+        read_issue_cycles=machine.config.timing.pkt_gen,
+    )
+    for pe in range(n_pes):
+        block = list(data[pe * npp : (pe + 1) * npp])
+        proc = machine.pes[pe]
+        proc.memory.write_block(STABLE_BASE, block)
+        st = proc.guest_state
+        st["params"] = params
+        st["token"] = OrderToken()
+        st["L"] = block
+        first = _partner(pe, 0, n_pes)
+        st["mi"] = _fresh_merge_state(first is not None and pe < first, npp)
+        for t in range(h):
+            machine.spawn(pe, "transpose_worker", t)
+
+    report = machine.run()
+
+    output: list[int] = []
+    for pe in range(n_pes):
+        output.extend(int(v) for v in machine.pes[pe].memory.read_block(STABLE_BASE, npp))
+    sorted_ok = (not verify) or output == sorted(int(x) for x in data)
+    return TransposeResult(
+        report=report, n=n, n_pes=n_pes, h=h, sorted_ok=sorted_ok, output=output
+    )

@@ -1,0 +1,64 @@
+"""Continuations: where a read reply (or call result) should land.
+
+A remote-read packet's second word is "the return address which is often
+called continuation" (§2.3).  We model a continuation as a small integer
+id valid on the issuing processor; the reply packet carries it back and
+the table resolves it to the suspended thread.  Ids are recycled so a
+long run does not grow the table without bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SchedulerError
+from .thread import EMThread
+
+__all__ = ["ContinuationTable"]
+
+
+class ContinuationTable:
+    """Per-processor map of continuation id → suspended thread."""
+
+    __slots__ = ("pe", "_slots", "_free", "_next", "registered", "resolved")
+
+    def __init__(self, pe: int) -> None:
+        self.pe = pe
+        self._slots: dict[int, tuple[EMThread, Any]] = {}
+        self._free: list[int] = []
+        self._next = 0
+        self.registered = 0
+        self.resolved = 0
+
+    def register(self, thread: EMThread, tag: Any = None) -> int:
+        """Park ``thread`` and return the continuation id for the packet."""
+        cid = self._free.pop() if self._free else self._next
+        if cid == self._next:
+            self._next += 1
+        if cid in self._slots:  # pragma: no cover - invariant
+            raise SchedulerError(f"continuation id {cid} already live on PE {self.pe}")
+        self._slots[cid] = (thread, tag)
+        self.registered += 1
+        return cid
+
+    def resolve(self, cid: int) -> tuple[EMThread, Any]:
+        """Consume a continuation id, returning (thread, tag)."""
+        try:
+            entry = self._slots.pop(cid)
+        except KeyError:
+            raise SchedulerError(f"unknown continuation {cid} on PE {self.pe}") from None
+        self._free.append(cid)
+        self.resolved += 1
+        return entry
+
+    def peek(self, cid: int) -> tuple[EMThread, Any]:
+        """Look at a continuation without consuming it (block reads)."""
+        try:
+            return self._slots[cid]
+        except KeyError:
+            raise SchedulerError(f"unknown continuation {cid} on PE {self.pe}") from None
+
+    @property
+    def outstanding(self) -> int:
+        """Continuations currently awaiting replies."""
+        return len(self._slots)

@@ -1,0 +1,58 @@
+"""The program registry: named thread functions (template segments).
+
+Compiled functions live in template segments on the hardware; a thread
+invocation packet carries the template address.  Here, guest thread
+functions are registered under a name and invocation packets carry that
+name.  A thread function is a generator function whose first parameter
+is the :class:`~repro.core.threadlib.ThreadCtx`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable
+
+from ..errors import ProgramError
+
+__all__ = ["ProgramRegistry"]
+
+ThreadFunc = Callable[..., Any]
+
+
+class ProgramRegistry:
+    """Name → generator-function table shared by all processors."""
+
+    def __init__(self) -> None:
+        self._funcs: dict[str, ThreadFunc] = {}
+
+    def register(self, func: ThreadFunc, name: str | None = None) -> str:
+        """Register a thread function; returns its template name.
+
+        The function must be a generator function (it will be driven by
+        the EXU through ``send``); registering anything else fails fast
+        rather than producing a confusing error at spawn time.
+        """
+        if not inspect.isgeneratorfunction(func):
+            raise ProgramError(
+                f"thread function {getattr(func, '__name__', func)!r} must be a "
+                "generator function (use 'yield ctx.…' effects)"
+            )
+        key = name or func.__name__
+        existing = self._funcs.get(key)
+        if existing is not None and existing is not func:
+            raise ProgramError(f"template name {key!r} already registered to a different function")
+        self._funcs[key] = func
+        return key
+
+    def get(self, name: str) -> ThreadFunc:
+        """Resolve a template name (raises :class:`ProgramError` if missing)."""
+        try:
+            return self._funcs[name]
+        except KeyError:
+            raise ProgramError(f"no thread function registered as {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._funcs
+
+    def __len__(self) -> int:
+        return len(self._funcs)

@@ -1,0 +1,171 @@
+"""Synchronisation primitives: iteration barriers and merge-order tokens.
+
+Two distinct mechanisms, because the paper counts their context switches
+separately (Fig. 9):
+
+* **Iteration synchronisation** — the barrier inserted at the end of
+  each iteration.  Arriving threads *spin through the hardware FIFO*:
+  each re-check is a context switch, so waiting threads rack up
+  iteration-sync switches proportional to their wait (this is exactly
+  why the paper sees iteration-sync switching overtake remote-read
+  switching at 16 threads on small problems).  The global combine is
+  packet-based: the last local arrival sends ``SYNC_ARRIVE`` to a hub
+  processor, which broadcasts ``SYNC_RELEASE`` — the broadcast
+  serialises through the hub's output port, producing realistic skew.
+
+* **Thread synchronisation** — sorting's ordered merge.  An
+  :class:`OrderToken` grants merge turns in thread order; a thread whose
+  turn has not come suspends (one thread-sync switch) and is woken by a
+  local resume packet when the token advances.  Direct hand-off, no
+  spinning: the token holder knows exactly whom to wake.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable
+
+from ..errors import BarrierError
+from .thread import EMThread
+
+__all__ = ["GlobalBarrier", "OrderToken"]
+
+_barrier_ids = itertools.count()
+_token_ids = itertools.count()
+
+
+class GlobalBarrier:
+    """A reusable machine-wide iteration barrier.
+
+    ``parties[pe]`` threads must arrive on each processor; the barrier
+    then combines across all processors and releases.  Generations make
+    it reusable every iteration.  Transport (the arrive/release packets)
+    is wired in by the machine via :meth:`wire`.
+    """
+
+    def __init__(self, n_pes: int, parties: list[int], hub: int = 0) -> None:
+        if len(parties) != n_pes:
+            raise BarrierError(f"parties list has {len(parties)} entries for {n_pes} PEs")
+        if any(p < 0 for p in parties):
+            raise BarrierError(f"negative party count in {parties}")
+        if not (0 <= hub < n_pes):
+            raise BarrierError(f"hub {hub} outside machine of {n_pes} PEs")
+        self.barrier_id = next(_barrier_ids)
+        self.n_pes = n_pes
+        self.parties = list(parties)
+        self.hub = hub
+        #: PEs that participate (non-zero parties).
+        self.member_pes = [pe for pe, p in enumerate(parties) if p > 0]
+        if not self.member_pes:
+            raise BarrierError("barrier with no participating processors")
+        self.local_arrived = [0] * n_pes
+        self.local_gen = [0] * n_pes
+        self.released_gen = [-1] * n_pes
+        self.hub_count = 0
+        self.hub_gen = 0
+        # Release transport, injected by the machine.
+        self._send_release: Callable[[int, int], None] | None = None
+        # Statistics.
+        self.generations_completed = 0
+
+    # ------------------------------------------------------------------
+    def wire(self, send_release: Callable[[int, int], None]) -> None:
+        """Install the release-broadcast transport (machine internal)."""
+        self._send_release = send_release
+
+    # ------------------------------------------------------------------
+    def arrive(self, pe: int) -> tuple[int, bool]:
+        """A thread on ``pe`` reaches the barrier.
+
+        Returns ``(generation, last_local)``: the generation the thread
+        waits for, and whether it was the last local party — in which
+        case the caller (the EXU) must emit the ``SYNC_ARRIVE`` packet
+        to the hub, charged at the proper cycle inside its burst.
+        """
+        if self.parties[pe] == 0:
+            raise BarrierError(f"PE {pe} is not a member of barrier {self.barrier_id}")
+        gen = self.local_gen[pe]
+        self.local_arrived[pe] += 1
+        if self.local_arrived[pe] > self.parties[pe]:
+            raise BarrierError(
+                f"barrier {self.barrier_id} overrun on PE {pe}: "
+                f"{self.local_arrived[pe]} arrivals for {self.parties[pe]} parties"
+            )
+        last_local = self.local_arrived[pe] == self.parties[pe]
+        if last_local:
+            self.local_arrived[pe] = 0
+            self.local_gen[pe] += 1
+        return gen, last_local
+
+    def hub_arrive(self, gen: int) -> bool:
+        """Hub receives one PE's arrival; True when all have arrived."""
+        if gen != self.hub_gen:
+            raise BarrierError(
+                f"barrier {self.barrier_id} hub saw generation {gen}, expected {self.hub_gen}"
+            )
+        self.hub_count += 1
+        if self.hub_count == len(self.member_pes):
+            self.hub_count = 0
+            self.hub_gen += 1
+            self.generations_completed += 1
+            return True
+        return False
+
+    def broadcast_release(self, gen: int) -> None:
+        """Hub broadcasts the release for ``gen`` to every member PE."""
+        if self._send_release is None:
+            raise BarrierError(f"barrier {self.barrier_id} not wired to a machine")
+        for pe in self.member_pes:
+            self._send_release(pe, gen)
+
+    def release(self, pe: int, gen: int) -> None:
+        """A release packet lands on ``pe``."""
+        if gen != self.released_gen[pe] + 1:
+            raise BarrierError(
+                f"barrier {self.barrier_id} release gen {gen} on PE {pe}, "
+                f"expected {self.released_gen[pe] + 1}"
+            )
+        self.released_gen[pe] = gen
+
+    def is_open(self, pe: int, gen: int) -> bool:
+        """Has generation ``gen`` been released at ``pe``?"""
+        return self.released_gen[pe] >= gen
+
+
+class OrderToken:
+    """Grants turns in sequence 0, 1, 2, … within one processor."""
+
+    __slots__ = ("token_id", "value", "_waiters")
+
+    def __init__(self) -> None:
+        self.token_id = next(_token_ids)
+        self.value = 0
+        self._waiters: dict[int, EMThread] = {}
+
+    def holds(self, seq: int) -> bool:
+        """True if turn ``seq`` is (or has been) granted."""
+        return self.value >= seq
+
+    def park(self, seq: int, thread: EMThread) -> None:
+        """Register ``thread`` to be woken when ``seq`` is granted."""
+        if seq in self._waiters:
+            raise BarrierError(f"token {self.token_id}: two threads parked on turn {seq}")
+        if self.holds(seq):
+            raise BarrierError(f"token {self.token_id}: parking on already-granted turn {seq}")
+        self._waiters[seq] = thread
+
+    def advance(self) -> EMThread | None:
+        """Grant the next turn; returns the thread to wake, if any."""
+        self.value += 1
+        return self._waiters.pop(self.value, None)
+
+    def reset(self) -> None:
+        """Restart at turn 0 (new iteration).  No waiters may remain."""
+        if self._waiters:
+            raise BarrierError(f"token {self.token_id} reset with waiters {sorted(self._waiters)}")
+        self.value = 0
+
+    @property
+    def waiting(self) -> int:
+        """Threads currently parked."""
+        return len(self._waiters)

@@ -1,0 +1,82 @@
+"""Thread objects: one generator, one activation frame, one state.
+
+A thread "will run to completion unless it encounters any remote memory
+operations or explicit thread switching" (§2.3).  The state machine
+mirrors that: READY (sitting in the hardware FIFO as a packet), RUNNING
+(the EXU is inside its generator), or suspended awaiting a read reply /
+barrier release / token grant.  Threads never share registers; the
+register image lives in the activation frame across switches.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generator
+
+from ..errors import ThreadProtocolError
+from ..memory import ActivationFrame
+
+__all__ = ["ThreadState", "EMThread"]
+
+#: The guest generator type: yields effects, receives resume values.
+GuestGen = Generator[Any, Any, Any]
+
+
+class ThreadState(enum.Enum):
+    """Lifecycle of a fine-grain thread."""
+
+    READY = "ready"
+    RUNNING = "running"
+    WAIT_READ = "wait_read"
+    WAIT_BARRIER = "wait_barrier"
+    WAIT_TOKEN = "wait_token"
+    WAIT_CALL = "wait_call"
+    DONE = "done"
+
+
+class EMThread:
+    """One fine-grain thread bound to a processor."""
+
+    __slots__ = ("tid", "pe", "frame", "gen", "state", "name", "started", "bursts")
+
+    def __init__(self, tid: int, pe: int, frame: ActivationFrame, gen: GuestGen, name: str = "") -> None:
+        self.tid = tid
+        self.pe = pe
+        self.frame = frame
+        self.gen = gen
+        self.state = ThreadState.READY
+        self.name = name or f"t{tid}"
+        self.started = False
+        self.bursts = 0
+
+    def transition(self, new: ThreadState) -> None:
+        """Move to ``new``, enforcing the legal state graph."""
+        legal: dict[ThreadState, tuple[ThreadState, ...]] = {
+            ThreadState.READY: (ThreadState.RUNNING,),
+            ThreadState.RUNNING: (
+                ThreadState.WAIT_READ,
+                ThreadState.WAIT_BARRIER,
+                ThreadState.WAIT_TOKEN,
+                ThreadState.WAIT_CALL,
+                ThreadState.READY,  # explicit SwitchNow
+                ThreadState.DONE,
+            ),
+            ThreadState.WAIT_READ: (ThreadState.RUNNING,),
+            ThreadState.WAIT_BARRIER: (ThreadState.RUNNING,),
+            ThreadState.WAIT_TOKEN: (ThreadState.RUNNING,),
+            ThreadState.WAIT_CALL: (ThreadState.RUNNING,),
+            ThreadState.DONE: (),
+        }
+        if new not in legal[self.state]:
+            raise ThreadProtocolError(
+                f"illegal thread transition {self.state.value} -> {new.value} for {self.name}"
+            )
+        self.state = new
+
+    @property
+    def alive(self) -> bool:
+        """True until the generator has returned."""
+        return self.state is not ThreadState.DONE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EMThread({self.name}, pe={self.pe}, state={self.state.value})"

@@ -1,0 +1,56 @@
+"""EM-C: the thread-library language layer.
+
+The paper's programs are "written in C with the thread library" and
+"compiled into explicit-switch threads" (§2.3).  This package provides
+that substrate: a small C-like language whose programs compile into
+threads for the EM-X runtime, with *automatic* cycle accounting — every
+evaluated operator, assignment and branch charges EMC-Y cycles, so run
+lengths emerge from the program text instead of hand-written
+:class:`~repro.core.effects.Compute` budgets.
+
+A flavour of the language::
+
+    thread reader(mate, m) {
+        var sum = 0;
+        for (var k = 0; k < m; k = k + 1) {
+            var v = rread(mate, k);      // split-phase: suspends here
+            sum = sum + v;
+        }
+        mem[100] = sum;                  // local memory store
+        rwrite(mate, 200, sum);          // remote write, no suspension
+        barrier_wait(bar);               // bar injected via env
+    }
+
+Use :func:`load_emc` to compile a source string and register every
+``thread`` definition with a machine::
+
+    names = load_emc(machine, source, env={"bar": machine.make_barrier(1)})
+    machine.spawn(0, "reader", 1, 16)
+
+Builtins: ``rread(pe, off)``, ``rread2(pe, offA, offB)`` (matched pair,
+returns the sum of charging both into locals is done via ``at``),
+``rblock(pe, off, n)``, ``rwrite(pe, off, v)``,
+``spawn(pe, "name", args…)``, ``barrier_wait(b)``, ``token_wait(t, s)``,
+``token_advance(t)``, ``switch_now()``, ``compute(n)``, ``mem[i]``
+loads/stores, ``at(list, i)``, ``len(x)``, ``pe()``, ``npes()``,
+``print(…)`` (collects into ``ctx.state['emc_output']``).
+"""
+
+from .costs import EmcCosts
+from .interp import CompiledProgram, compile_program, load_emc
+from .lexer import Lexer, Token, TokenKind
+from .parser import Parser, parse
+from .printer import pretty
+
+__all__ = [
+    "compile_program",
+    "load_emc",
+    "CompiledProgram",
+    "EmcCosts",
+    "Lexer",
+    "Parser",
+    "parse",
+    "pretty",
+    "Token",
+    "TokenKind",
+]

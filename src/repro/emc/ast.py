@@ -1,0 +1,181 @@
+"""EM-C abstract syntax tree.
+
+Plain dataclasses; every node carries the source line for diagnostics.
+The interpreter in :mod:`repro.emc.interp` walks these directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Program",
+    "ThreadDef",
+    "Block",
+    "VarDecl",
+    "Assign",
+    "MemStore",
+    "If",
+    "While",
+    "For",
+    "Break",
+    "Continue",
+    "Return",
+    "ExprStmt",
+    "BinOp",
+    "UnaryOp",
+    "Literal",
+    "VarRef",
+    "MemLoad",
+    "Call",
+    "Stmt",
+    "Expr",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Literal:
+    value: int | float | str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarRef:
+    name: str
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MemLoad:
+    """``mem[index]`` — a local memory word load."""
+
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Call:
+    """A builtin call: ``rread(pe, off)``, ``spawn(...)``, …"""
+
+    name: str
+    args: tuple["Expr", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+Expr = Union[Literal, VarRef, MemLoad, Call, BinOp, UnaryOp]
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VarDecl:
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Assign:
+    name: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class MemStore:
+    """``mem[index] = value;``"""
+
+    index: Expr
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Block:
+    statements: tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Expr
+    then_block: Block
+    else_block: Block | None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    init: "Stmt | None"
+    condition: Expr | None
+    step: "Stmt | None"
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Break:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Continue:
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Expr | None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, MemStore, Block, If, While, For, Break, Continue, Return, ExprStmt]
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ThreadDef:
+    name: str
+    params: tuple[str, ...]
+    body: Block
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Program:
+    threads: dict[str, ThreadDef] = field(default_factory=dict)

@@ -1,0 +1,54 @@
+"""Cycle costs of EM-C constructs.
+
+The interpreter charges these per evaluated AST node, so a compiled
+thread's run length *emerges* from its source: the paper's 12-clock
+sorting read-loop body corresponds to a handful of EM-C statements
+(index arithmetic, buffer store, loop compare + increment) plus the
+read-issue instructions the EXU charges separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["EmcCosts"]
+
+
+@dataclass(frozen=True)
+class EmcCosts:
+    """Per-construct EMC-Y cycle charges."""
+
+    #: +, -, *, comparisons, logical ops (one clock each on the EMC-Y).
+    alu_op: int = 1
+    #: Division (the one multi-cycle arithmetic instruction).
+    div_op: int = 8
+    #: Modulo (shift/mask sequences in practice).
+    mod_op: int = 2
+    unary_op: int = 1
+    #: Register move for assignments / declarations.
+    assign: int = 1
+    #: Local memory word access (address already computed).
+    mem_access: int = 1
+    #: Address computation for mem[expr].
+    mem_index: int = 1
+    #: Conditional branch (compare is charged by the condition itself).
+    branch: int = 1
+    #: Loop back-edge (increment/jump beyond the step's own cost).
+    loop_back: int = 1
+    #: Builtin call sequence overhead (argument marshalling).
+    call_overhead: int = 1
+
+    def validate(self) -> None:
+        for name, value in self.__dict__.items():
+            if not isinstance(value, int) or value < 0:
+                raise ConfigError(f"EM-C cost {name!r} must be a non-negative int, got {value!r}")
+
+    def binop(self, op: str) -> int:
+        """Cost of one binary operator."""
+        if op == "/":
+            return self.div_op
+        if op == "%":
+            return self.mod_op
+        return self.alu_op

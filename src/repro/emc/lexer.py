@@ -1,0 +1,162 @@
+"""EM-C lexer.
+
+Hand-written scanner producing a flat token stream with line/column
+positions for error messages.  C-style ``//`` line comments and
+``/* */`` block comments are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import EmcSyntaxError
+
+__all__ = ["TokenKind", "Token", "Lexer", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {"thread", "var", "if", "else", "while", "for", "break", "continue", "return", "mem"}
+)
+
+# Longest first so '==' wins over '='.
+_OPERATORS = (
+    "==", "!=", "<=", ">=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+)
+_PUNCT = "(){}[],;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme with its source position."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.col})"
+
+
+class Lexer:
+    """Scan EM-C source into tokens."""
+
+    def __init__(self, source: str) -> None:
+        self.src = source
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _error(self, message: str) -> EmcSyntaxError:
+        return EmcSyntaxError(f"lex error at {self.line}:{self.col}: {message}")
+
+    def _peek(self, ahead: int = 0) -> str:
+        i = self.pos + ahead
+        return self.src[i] if i < len(self.src) else ""
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.src):
+                if self.src[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        while True:
+            ch = self._peek()
+            if not ch:
+                return
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if not self._peek():
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            else:
+                return
+
+    def tokens(self) -> list[Token]:
+        """Scan the whole source; always ends with one EOF token."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            line, col = self.line, self.col
+            ch = self._peek()
+            if not ch:
+                out.append(Token(TokenKind.EOF, "", line, col))
+                return out
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                out.append(self._number(line, col))
+            elif ch.isalpha() or ch == "_":
+                out.append(self._ident(line, col))
+            elif ch == '"':
+                out.append(self._string(line, col))
+            elif ch in _PUNCT:
+                self._advance()
+                out.append(Token(TokenKind.PUNCT, ch, line, col))
+            else:
+                for op in _OPERATORS:
+                    if self.src.startswith(op, self.pos):
+                        self._advance(len(op))
+                        out.append(Token(TokenKind.OP, op, line, col))
+                        break
+                else:
+                    raise self._error(f"unexpected character {ch!r}")
+
+    def _number(self, line: int, col: int) -> Token:
+        start = self.pos
+        saw_dot = False
+        while self._peek().isdigit() or (self._peek() == "." and not saw_dot):
+            if self._peek() == ".":
+                saw_dot = True
+            self._advance()
+        text = self.src[start : self.pos]
+        if text.endswith("."):
+            raise self._error(f"malformed number {text!r}")
+        kind = TokenKind.FLOAT if saw_dot else TokenKind.INT
+        return Token(kind, text, line, col)
+
+    def _ident(self, line: int, col: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.src[start : self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, col)
+
+    def _string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        start = self.pos
+        while self._peek() and self._peek() != '"':
+            if self._peek() == "\n":
+                raise self._error("newline inside string literal")
+            self._advance()
+        if not self._peek():
+            raise self._error("unterminated string literal")
+        text = self.src[start : self.pos]
+        self._advance()  # closing quote
+        return Token(TokenKind.STRING, text, line, col)

@@ -1,0 +1,264 @@
+"""EM-C recursive-descent parser.
+
+Grammar (EBNF)::
+
+    program    = { threaddef } ;
+    threaddef  = "thread" IDENT "(" [ params ] ")" block ;
+    params     = IDENT { "," IDENT } ;
+    block      = "{" { stmt } "}" ;
+    stmt       = "var" IDENT "=" expr ";"
+               | IDENT "=" expr ";"
+               | "mem" "[" expr "]" "=" expr ";"
+               | "if" "(" expr ")" block [ "else" ( block | ifstmt ) ]
+               | "while" "(" expr ")" block
+               | "for" "(" [ simple ] ";" [ expr ] ";" [ simple ] ")" block
+               | "break" ";" | "continue" ";"
+               | "return" [ expr ] ";"
+               | expr ";" ;
+    simple     = "var" IDENT "=" expr | IDENT "=" expr
+               | "mem" "[" expr "]" "=" expr | expr ;
+    expr       = or ;  (C precedence: || < && < == != < relational < +- < */% < unary)
+    primary    = INT | FLOAT | STRING | IDENT [ "(" args ")" ]
+               | "mem" "[" expr "]" | "(" expr ")" ;
+"""
+
+from __future__ import annotations
+
+from ..errors import EmcSyntaxError
+from . import ast
+from .lexer import Lexer, Token, TokenKind
+
+__all__ = ["Parser", "parse"]
+
+
+def parse(source: str) -> ast.Program:
+    """Parse EM-C source into a :class:`~repro.emc.ast.Program`."""
+    return Parser(Lexer(source).tokens()).program()
+
+
+class Parser:
+    """Token stream → AST."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._i = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._i]
+
+    def _error(self, message: str) -> EmcSyntaxError:
+        tok = self._cur
+        what = tok.text or "<eof>"
+        return EmcSyntaxError(f"parse error at {tok.line}:{tok.col} near {what!r}: {message}")
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind is not TokenKind.EOF:
+            self._i += 1
+        return tok
+
+    def _check(self, kind: TokenKind, text: str | None = None) -> bool:
+        tok = self._cur
+        return tok.kind is kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: TokenKind, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        tok = self._accept(kind, text)
+        if tok is None:
+            want = text or kind.value
+            raise self._error(f"expected {want!r}")
+        return tok
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def program(self) -> ast.Program:
+        prog = ast.Program()
+        while not self._check(TokenKind.EOF):
+            tdef = self.thread_def()
+            if tdef.name in prog.threads:
+                raise self._error(f"duplicate thread definition {tdef.name!r}")
+            prog.threads[tdef.name] = tdef
+        if not prog.threads:
+            raise EmcSyntaxError("empty program: no 'thread' definitions")
+        return prog
+
+    def thread_def(self) -> ast.ThreadDef:
+        kw = self._expect(TokenKind.KEYWORD, "thread")
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.PUNCT, "(")
+        params: list[str] = []
+        if not self._check(TokenKind.PUNCT, ")"):
+            params.append(self._expect(TokenKind.IDENT).text)
+            while self._accept(TokenKind.PUNCT, ","):
+                params.append(self._expect(TokenKind.IDENT).text)
+        self._expect(TokenKind.PUNCT, ")")
+        if len(set(params)) != len(params):
+            raise self._error(f"duplicate parameter in thread {name!r}")
+        body = self.block()
+        return ast.ThreadDef(name, tuple(params), body, kw.line)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def block(self) -> ast.Block:
+        brace = self._expect(TokenKind.PUNCT, "{")
+        stmts: list[ast.Stmt] = []
+        while not self._check(TokenKind.PUNCT, "}"):
+            if self._check(TokenKind.EOF):
+                raise self._error("unterminated block")
+            stmts.append(self.statement())
+        self._expect(TokenKind.PUNCT, "}")
+        return ast.Block(tuple(stmts), brace.line)
+
+    def statement(self) -> ast.Stmt:
+        tok = self._cur
+        if self._check(TokenKind.KEYWORD, "if"):
+            return self._if_stmt()
+        if self._check(TokenKind.KEYWORD, "while"):
+            return self._while_stmt()
+        if self._check(TokenKind.KEYWORD, "for"):
+            return self._for_stmt()
+        if self._accept(TokenKind.KEYWORD, "break"):
+            self._expect(TokenKind.PUNCT, ";")
+            return ast.Break(tok.line)
+        if self._accept(TokenKind.KEYWORD, "continue"):
+            self._expect(TokenKind.PUNCT, ";")
+            return ast.Continue(tok.line)
+        if self._accept(TokenKind.KEYWORD, "return"):
+            value = None if self._check(TokenKind.PUNCT, ";") else self.expression()
+            self._expect(TokenKind.PUNCT, ";")
+            return ast.Return(value, tok.line)
+        if self._check(TokenKind.PUNCT, "{"):
+            return self.block()
+        stmt = self._simple_statement()
+        self._expect(TokenKind.PUNCT, ";")
+        return stmt
+
+    def _simple_statement(self) -> ast.Stmt:
+        """A declaration, assignment, mem-store or expression (no ';')."""
+        tok = self._cur
+        if self._accept(TokenKind.KEYWORD, "var"):
+            name = self._expect(TokenKind.IDENT).text
+            self._expect(TokenKind.OP, "=")
+            return ast.VarDecl(name, self.expression(), tok.line)
+        if self._check(TokenKind.KEYWORD, "mem"):
+            save = self._i
+            self._advance()
+            self._expect(TokenKind.PUNCT, "[")
+            index = self.expression()
+            self._expect(TokenKind.PUNCT, "]")
+            if self._accept(TokenKind.OP, "="):
+                return ast.MemStore(index, self.expression(), tok.line)
+            self._i = save  # plain mem[i] expression, re-parse below
+        if self._check(TokenKind.IDENT):
+            nxt = self._tokens[self._i + 1]
+            if nxt.kind is TokenKind.OP and nxt.text == "=":
+                name = self._advance().text
+                self._advance()  # '='
+                return ast.Assign(name, self.expression(), tok.line)
+        return ast.ExprStmt(self.expression(), tok.line)
+
+    def _if_stmt(self) -> ast.If:
+        kw = self._expect(TokenKind.KEYWORD, "if")
+        self._expect(TokenKind.PUNCT, "(")
+        cond = self.expression()
+        self._expect(TokenKind.PUNCT, ")")
+        then_block = self.block()
+        else_block: ast.Block | None = None
+        if self._accept(TokenKind.KEYWORD, "else"):
+            if self._check(TokenKind.KEYWORD, "if"):
+                nested = self._if_stmt()
+                else_block = ast.Block((nested,), nested.line)
+            else:
+                else_block = self.block()
+        return ast.If(cond, then_block, else_block, kw.line)
+
+    def _while_stmt(self) -> ast.While:
+        kw = self._expect(TokenKind.KEYWORD, "while")
+        self._expect(TokenKind.PUNCT, "(")
+        cond = self.expression()
+        self._expect(TokenKind.PUNCT, ")")
+        return ast.While(cond, self.block(), kw.line)
+
+    def _for_stmt(self) -> ast.For:
+        kw = self._expect(TokenKind.KEYWORD, "for")
+        self._expect(TokenKind.PUNCT, "(")
+        init = None if self._check(TokenKind.PUNCT, ";") else self._simple_statement()
+        self._expect(TokenKind.PUNCT, ";")
+        cond = None if self._check(TokenKind.PUNCT, ";") else self.expression()
+        self._expect(TokenKind.PUNCT, ";")
+        step = None if self._check(TokenKind.PUNCT, ")") else self._simple_statement()
+        self._expect(TokenKind.PUNCT, ")")
+        return ast.For(init, cond, step, self.block(), kw.line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _LEVELS = (
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def expression(self) -> ast.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> ast.Expr:
+        if level == len(self._LEVELS):
+            return self._unary()
+        ops = self._LEVELS[level]
+        left = self._binary(level + 1)
+        while self._cur.kind is TokenKind.OP and self._cur.text in ops:
+            op = self._advance()
+            right = self._binary(level + 1)
+            left = ast.BinOp(op.text, left, right, op.line)
+        return left
+
+    def _unary(self) -> ast.Expr:
+        tok = self._cur
+        if tok.kind is TokenKind.OP and tok.text in ("-", "!"):
+            self._advance()
+            return ast.UnaryOp(tok.text, self._unary(), tok.line)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._cur
+        if self._accept(TokenKind.INT):
+            return ast.Literal(int(tok.text), tok.line)
+        if self._accept(TokenKind.FLOAT):
+            return ast.Literal(float(tok.text), tok.line)
+        if self._accept(TokenKind.STRING):
+            return ast.Literal(tok.text, tok.line)
+        if self._accept(TokenKind.KEYWORD, "mem"):
+            self._expect(TokenKind.PUNCT, "[")
+            index = self.expression()
+            self._expect(TokenKind.PUNCT, "]")
+            return ast.MemLoad(index, tok.line)
+        if self._accept(TokenKind.PUNCT, "("):
+            inner = self.expression()
+            self._expect(TokenKind.PUNCT, ")")
+            return inner
+        if self._check(TokenKind.IDENT):
+            name = self._advance().text
+            if self._accept(TokenKind.PUNCT, "("):
+                args: list[ast.Expr] = []
+                if not self._check(TokenKind.PUNCT, ")"):
+                    args.append(self.expression())
+                    while self._accept(TokenKind.PUNCT, ","):
+                        args.append(self.expression())
+                self._expect(TokenKind.PUNCT, ")")
+                return ast.Call(name, tuple(args), tok.line)
+            return ast.VarRef(name, tok.line)
+        raise self._error("expected an expression")

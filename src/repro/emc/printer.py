@@ -1,0 +1,149 @@
+"""EM-C pretty-printer: AST → canonical source.
+
+``parse(pretty(ast)) == ast`` up to source positions — the property the
+test suite checks with generated programs.  Useful for debugging
+compiled programs and for emitting canonical forms of generated code.
+"""
+
+from __future__ import annotations
+
+from ..errors import EmcSyntaxError
+from . import ast
+
+__all__ = ["pretty"]
+
+_IND = "    "
+
+
+def pretty(node) -> str:
+    """Render a program, thread definition, statement or expression."""
+    if isinstance(node, ast.Program):
+        return "\n\n".join(_thread(t) for t in node.threads.values()) + "\n"
+    if isinstance(node, ast.ThreadDef):
+        return _thread(node)
+    if isinstance(node, ast.Block):
+        return _block(node, 0)
+    if _is_stmt(node):
+        return _stmt(node, 0)
+    return _expr(node)
+
+
+def _is_stmt(node) -> bool:
+    return isinstance(
+        node,
+        (
+            ast.VarDecl,
+            ast.Assign,
+            ast.MemStore,
+            ast.If,
+            ast.While,
+            ast.For,
+            ast.Break,
+            ast.Continue,
+            ast.Return,
+            ast.ExprStmt,
+            ast.Block,
+        ),
+    )
+
+
+def _thread(t: ast.ThreadDef) -> str:
+    params = ", ".join(t.params)
+    return f"thread {t.name}({params}) {_block(t.body, 0)}"
+
+
+def _block(block: ast.Block, depth: int) -> str:
+    if not block.statements:
+        return "{\n" + _IND * depth + "}"
+    inner = "\n".join(_stmt(s, depth + 1) for s in block.statements)
+    return "{\n" + inner + "\n" + _IND * depth + "}"
+
+
+def _stmt(stmt, depth: int) -> str:
+    pad = _IND * depth
+    kind = type(stmt)
+    if kind is ast.VarDecl:
+        return f"{pad}var {stmt.name} = {_expr(stmt.value)};"
+    if kind is ast.Assign:
+        return f"{pad}{stmt.name} = {_expr(stmt.value)};"
+    if kind is ast.MemStore:
+        return f"{pad}mem[{_expr(stmt.index)}] = {_expr(stmt.value)};"
+    if kind is ast.ExprStmt:
+        return f"{pad}{_expr(stmt.expr)};"
+    if kind is ast.Block:
+        return pad + _block(stmt, depth)
+    if kind is ast.If:
+        out = f"{pad}if ({_expr(stmt.condition)}) {_block(stmt.then_block, depth)}"
+        if stmt.else_block is not None:
+            out += f" else {_block(stmt.else_block, depth)}"
+        return out
+    if kind is ast.While:
+        return f"{pad}while ({_expr(stmt.condition)}) {_block(stmt.body, depth)}"
+    if kind is ast.For:
+        init = _inline_stmt(stmt.init)
+        cond = _expr(stmt.condition) if stmt.condition is not None else ""
+        step = _inline_stmt(stmt.step)
+        return f"{pad}for ({init}; {cond}; {step}) {_block(stmt.body, depth)}"
+    if kind is ast.Break:
+        return f"{pad}break;"
+    if kind is ast.Continue:
+        return f"{pad}continue;"
+    if kind is ast.Return:
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {_expr(stmt.value)};"
+    raise EmcSyntaxError(f"cannot print statement {stmt!r}")
+
+
+def _inline_stmt(stmt) -> str:
+    """A simple statement inside a for-header (no trailing ';')."""
+    if stmt is None:
+        return ""
+    rendered = _stmt(stmt, 0)
+    return rendered[:-1] if rendered.endswith(";") else rendered
+
+
+# Operator precedence levels matching the parser's climb.
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+_UNARY_PREC = 7
+
+
+def _expr(expr, parent_prec: int = 0) -> str:
+    kind = type(expr)
+    if kind is ast.Literal:
+        if isinstance(expr.value, str):
+            return f'"{expr.value}"'
+        return repr(expr.value)
+    if kind is ast.VarRef:
+        return expr.name
+    if kind is ast.MemLoad:
+        return f"mem[{_expr(expr.index)}]"
+    if kind is ast.Call:
+        args = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if kind is ast.UnaryOp:
+        inner = _expr(expr.operand, _UNARY_PREC)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_prec > _UNARY_PREC else text
+    if kind is ast.BinOp:
+        prec = _PREC[expr.op]
+        left = _expr(expr.left, prec)
+        # Right operand binds one tighter (left-associative operators).
+        right = _expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_prec > prec else text
+    raise EmcSyntaxError(f"cannot print expression {expr!r}")

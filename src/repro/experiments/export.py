@@ -1,0 +1,108 @@
+"""CSV export of every regenerated figure.
+
+Plotting tools want long-form tables; this module flattens the figure
+drivers' nested series into ``figure,panel,app,n_pes,npp,h,metric,value``
+rows and writes one CSV per figure (plus a combined ``all_figures.csv``).
+Used by ``python -m repro export``.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Iterable
+
+from ..errors import ConfigError
+from .common import THREAD_SWEEP, ExperimentScale, default_scale
+from .fig6 import PANELS as FIG6_PANELS
+from .fig6 import fig6_panel
+from .fig7 import fig7_panel
+from .fig8 import PANELS as FIG8_PANELS
+from .fig8 import fig8_panel
+from .fig9 import fig9_panel
+
+__all__ = ["export_all", "Row"]
+
+#: One long-form record.
+Row = tuple[str, str, str, int, int, int, str, float]
+
+
+def _fig6_rows(scale: ExperimentScale, threads) -> Iterable[Row]:
+    for panel, (app, which) in sorted(FIG6_PANELS.items()):
+        n_pes = getattr(scale, which)
+        for npp, curve in fig6_panel(panel, scale, threads).items():
+            for h, seconds in sorted(curve.items()):
+                yield ("fig6", panel, app, n_pes, npp, h, "comm_seconds", seconds)
+
+
+def _fig7_rows(scale: ExperimentScale, threads) -> Iterable[Row]:
+    for panel, (app, which) in sorted(FIG6_PANELS.items()):
+        n_pes = getattr(scale, which)
+        for npp, curve in fig7_panel(panel, scale, threads).items():
+            for h, eff in sorted(curve.items()):
+                yield ("fig7", panel, app, n_pes, npp, h, "overlap_efficiency", eff)
+
+
+def _fig8_rows(scale: ExperimentScale, threads) -> Iterable[Row]:
+    for panel, (app, size_role) in sorted(FIG8_PANELS.items()):
+        npp = scale.small_size if size_role == "small" else scale.large_size
+        for h, comps in sorted(fig8_panel(panel, scale, threads).items()):
+            for component, pct in sorted(comps.items()):
+                yield ("fig8", panel, app, scale.p_large, npp, h, f"pct_{component}", pct)
+
+
+def _fig9_rows(scale: ExperimentScale, threads) -> Iterable[Row]:
+    for panel, (app, size_role) in sorted(FIG8_PANELS.items()):
+        npp = scale.small_size if size_role == "small" else scale.large_size
+        for h, kinds in sorted(fig9_panel(panel, scale, threads).items()):
+            for kind, count in sorted(kinds.items()):
+                yield ("fig9", panel, app, scale.p_large, npp, h, f"switches_{kind}", count)
+
+
+_FIGS = {
+    "fig6": _fig6_rows,
+    "fig7": _fig7_rows,
+    "fig8": _fig8_rows,
+    "fig9": _fig9_rows,
+}
+
+_HEADER = ["figure", "panel", "app", "n_pes", "npp", "threads", "metric", "value"]
+
+
+def export_all(
+    outdir: str | pathlib.Path,
+    scale: ExperimentScale | None = None,
+    threads: tuple[int, ...] = THREAD_SWEEP,
+    figures: tuple[str, ...] = ("fig6", "fig7", "fig8", "fig9"),
+) -> list[pathlib.Path]:
+    """Regenerate the requested figures and write CSVs; returns paths.
+
+    Runs are memoised process-wide, so fig7 reuses fig6's sweeps and the
+    combined file costs nothing extra.
+    """
+    unknown = set(figures) - set(_FIGS)
+    if unknown:
+        raise ConfigError(f"unknown figures {sorted(unknown)}; valid: {sorted(_FIGS)}")
+    scale = scale or default_scale()
+    out = pathlib.Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    written: list[pathlib.Path] = []
+    all_rows: list[Row] = []
+    for fig in figures:
+        rows = list(_FIGS[fig](scale, threads))
+        all_rows.extend(rows)
+        path = out / f"{fig}.csv"
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(_HEADER)
+            writer.writerows(rows)
+        written.append(path)
+
+    combined = out / "all_figures.csv"
+    with combined.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        writer.writerows(all_rows)
+    written.append(combined)
+    return written

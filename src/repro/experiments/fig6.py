@@ -1,0 +1,68 @@
+"""Figure 6: communication time (seconds) vs. number of threads.
+
+Four panels: (a) bitonic sorting P=16, (b) sorting P=64, (c) FFT P=16,
+(d) FFT P=64 — each with one curve per data size.  The paper's key
+observation: the communication time is minimal when the number of
+threads is two to four, and FFT's valleys are far deeper than sorting's.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..metrics.report import format_table
+from .common import THREAD_SWEEP, ExperimentScale, default_scale, sweep_threads
+
+__all__ = ["fig6_series", "fig6_panel", "format_fig6", "PANELS"]
+
+#: Panel letter → (app, which processor count of the scale).
+PANELS = {
+    "a": ("sort", "p_small"),
+    "b": ("sort", "p_large"),
+    "c": ("fft", "p_small"),
+    "d": ("fft", "p_large"),
+}
+
+
+def fig6_series(
+    app: str,
+    n_pes: int,
+    sizes_per_pe: tuple[int, ...],
+    threads: tuple[int, ...] = THREAD_SWEEP,
+    **kwargs,
+) -> dict[int, dict[int, float]]:
+    """Communication-time curves: {n/P: {h: seconds}}."""
+    return {
+        npp: {
+            h: rec.comm_seconds
+            for h, rec in sweep_threads(app, n_pes, npp, threads, **kwargs).items()
+        }
+        for npp in sizes_per_pe
+    }
+
+
+def fig6_panel(
+    panel: str,
+    scale: ExperimentScale | None = None,
+    threads: tuple[int, ...] = THREAD_SWEEP,
+    **kwargs,
+) -> dict[int, dict[int, float]]:
+    """One lettered panel of Fig. 6 at the active experiment scale."""
+    if panel not in PANELS:
+        raise ConfigError(f"Fig. 6 has panels {sorted(PANELS)}, not {panel!r}")
+    scale = scale or default_scale()
+    app, which = PANELS[panel]
+    n_pes = getattr(scale, which)
+    return fig6_series(app, n_pes, scale.sizes_for(n_pes), threads, **kwargs)
+
+
+def format_fig6(panel: str, series: dict[int, dict[int, float]], n_pes: int) -> str:
+    """Render a panel as the paper prints it: rows = h, columns = sizes."""
+    sizes = sorted(series)
+    threads = sorted({h for curve in series.values() for h in curve})
+    headers = ["threads"] + [f"n/P={npp}" for npp in sizes]
+    rows = []
+    for h in threads:
+        rows.append([h] + [series[npp].get(h, float("nan")) for npp in sizes])
+    app = "B-sorting" if PANELS[panel][0] == "sort" else "FFT"
+    title = f"Fig 6({panel}): {app} P={n_pes} — communication time [s]"
+    return format_table(headers, rows, title)

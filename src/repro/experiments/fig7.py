@@ -1,0 +1,41 @@
+"""Figure 7: efficiency of overlapping.
+
+E = (T_comm,1 − T_comm,h) / T_comm,1, per panel of Fig. 6.  The paper's
+headline numbers: bitonic sorting overlaps roughly 35 % of its
+communication; FFT overlaps over 95 % with two to four threads.
+"""
+
+from __future__ import annotations
+
+from ..metrics.overlap import overlap_series
+from ..metrics.report import format_table
+from .common import THREAD_SWEEP, ExperimentScale
+from .fig6 import PANELS, fig6_panel
+
+__all__ = ["fig7_panel", "format_fig7"]
+
+
+def fig7_panel(
+    panel: str,
+    scale: ExperimentScale | None = None,
+    threads: tuple[int, ...] = THREAD_SWEEP,
+    **kwargs,
+) -> dict[int, dict[int, float]]:
+    """Efficiency curves {n/P: {h: E}} for one panel (reuses Fig. 6 runs)."""
+    comm = fig6_panel(panel, scale, threads, **kwargs)
+    return {npp: overlap_series(curve) for npp, curve in comm.items()}
+
+
+def format_fig7(panel: str, series: dict[int, dict[int, float]], n_pes: int) -> str:
+    """Render efficiency in percent, rows = h, columns = sizes."""
+    sizes = sorted(series)
+    threads = sorted({h for curve in series.values() for h in curve})
+    headers = ["threads"] + [f"n/P={npp}" for npp in sizes]
+    rows = []
+    for h in threads:
+        rows.append(
+            [h] + [100.0 * series[npp][h] if h in series[npp] else float("nan") for npp in sizes]
+        )
+    app = "B-sorting" if PANELS[panel][0] == "sort" else "FFT"
+    title = f"Fig 7({panel}): {app} P={n_pes} — overlap efficiency [%]"
+    return format_table(headers, rows, title)

@@ -1,0 +1,50 @@
+"""Figure 8: distribution of execution time on 64 processors.
+
+Stacked percentages of computation, overhead, communication and
+switching vs. thread count, for sorting and FFT at a small and a large
+problem size (the paper uses n = 512K and n = 8M at P = 64; we use the
+scale ladder's smallest and largest per-PE sizes).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..metrics.report import format_table
+from .common import THREAD_SWEEP, ExperimentScale, default_scale, sweep_threads
+
+__all__ = ["fig8_panel", "format_fig8", "PANELS"]
+
+#: Panel letter → (app, small-or-large problem size).
+PANELS = {
+    "a": ("sort", "small"),
+    "b": ("sort", "large"),
+    "c": ("fft", "small"),
+    "d": ("fft", "large"),
+}
+
+COMPONENTS = ("computation", "overhead", "communication", "switching")
+
+
+def fig8_panel(
+    panel: str,
+    scale: ExperimentScale | None = None,
+    threads: tuple[int, ...] = THREAD_SWEEP,
+    **kwargs,
+) -> dict[int, dict[str, float]]:
+    """{h: {component: percent}} for one panel at P = p_large."""
+    if panel not in PANELS:
+        raise ConfigError(f"Fig. 8 has panels {sorted(PANELS)}, not {panel!r}")
+    scale = scale or default_scale()
+    app, size_role = PANELS[panel]
+    npp = scale.small_size if size_role == "small" else scale.large_size
+    records = sweep_threads(app, scale.p_large, npp, threads, **kwargs)
+    return {h: rec.breakdown() for h, rec in records.items()}
+
+
+def format_fig8(panel: str, series: dict[int, dict[str, float]], n_pes: int, npp: int) -> str:
+    """Render the four components in percent, one row per thread count."""
+    headers = ["threads"] + [c for c in COMPONENTS]
+    rows = [[h] + [series[h][c] for c in COMPONENTS] for h in sorted(series)]
+    app = "B-sorting" if PANELS[panel][0] == "sort" else "FFT"
+    title = f"Fig 8({panel}): {app} P={n_pes}, n/P={npp} — execution time distribution [%]"
+    return format_table(headers, rows, title)

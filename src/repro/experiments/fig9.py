@@ -1,0 +1,48 @@
+"""Figure 9: average number of switches per processor, by type.
+
+Three curves per panel on a log y-axis: remote-read switches (fixed in
+h — derivable from n, h, P), iteration-synchronisation switches (growing
+with h; overtaking remote reads at 16 threads for small problems), and
+thread-synchronisation switches (present for sorting's ordered merges,
+near-absent for FFT).  Panels match Fig. 8's (app × size) grid at P=64.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..metrics.counters import SwitchKind
+from ..metrics.report import format_table
+from .common import THREAD_SWEEP, ExperimentScale, default_scale, sweep_threads
+from .fig8 import PANELS
+
+__all__ = ["fig9_panel", "format_fig9", "SWITCH_KINDS"]
+
+SWITCH_KINDS = (SwitchKind.REMOTE_READ, SwitchKind.ITER_SYNC, SwitchKind.THREAD_SYNC)
+
+
+def fig9_panel(
+    panel: str,
+    scale: ExperimentScale | None = None,
+    threads: tuple[int, ...] = THREAD_SWEEP,
+    **kwargs,
+) -> dict[int, dict[str, float]]:
+    """{h: {switch kind: average count per PE}} for one panel."""
+    if panel not in PANELS:
+        raise ConfigError(f"Fig. 9 has panels {sorted(PANELS)}, not {panel!r}")
+    scale = scale or default_scale()
+    app, size_role = PANELS[panel]
+    npp = scale.small_size if size_role == "small" else scale.large_size
+    records = sweep_threads(app, scale.p_large, npp, threads, **kwargs)
+    return {
+        h: {kind.value: rec.switches(kind) for kind in SWITCH_KINDS}
+        for h, rec in records.items()
+    }
+
+
+def format_fig9(panel: str, series: dict[int, dict[str, float]], n_pes: int, npp: int) -> str:
+    """Render switch counts, one row per thread count."""
+    headers = ["threads"] + [k.value for k in SWITCH_KINDS]
+    rows = [[h] + [series[h][k.value] for k in SWITCH_KINDS] for h in sorted(series)]
+    app = "B-sorting" if PANELS[panel][0] == "sort" else "FFT"
+    title = f"Fig 9({panel}): {app} P={n_pes}, n/P={npp} — switches per processor"
+    return format_table(headers, rows, title)

@@ -1,0 +1,94 @@
+"""Golden-series regression: frozen reference results.
+
+The simulator is fully deterministic, so small runs can be pinned
+exactly: any change to timing, scheduling, routing or accounting shows
+up as a golden diff.  `make_goldens()` computes the reference payload;
+the repository stores one JSON per scale under ``tests/goldens/`` and a
+test regenerates and compares.
+
+Regenerate deliberately after an intentional model change::
+
+    python -m repro goldens --write tests/goldens
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..apps import run_bitonic, run_fft, run_transpose_sort
+from ..errors import ConfigError
+
+__all__ = ["make_goldens", "write_goldens", "compare_goldens", "GOLDEN_CONFIGS"]
+
+#: (name, app, n_pes, npp, h, seed) — small, fast, deterministic runs.
+GOLDEN_CONFIGS = (
+    ("sort_p4_n64_h1", "sort", 4, 16, 1, 0),
+    ("sort_p4_n64_h4", "sort", 4, 16, 4, 0),
+    ("sort_p8_n128_h2", "sort", 8, 16, 2, 1),
+    ("fft_p4_n64_h1", "fft", 4, 16, 1, 0),
+    ("fft_p4_n64_h4", "fft", 4, 16, 4, 0),
+    ("fft_p8_n128_h2", "fft", 8, 16, 2, 1),
+    ("transpose_p4_n64_h2", "transpose", 4, 16, 2, 0),
+)
+
+_RUNNERS = {
+    "sort": run_bitonic,
+    "fft": run_fft,
+    "transpose": run_transpose_sort,
+}
+
+
+def make_goldens() -> dict[str, dict]:
+    """Run every golden configuration and collect its fingerprint."""
+    out: dict[str, dict] = {}
+    for name, app, n_pes, npp, h, seed in GOLDEN_CONFIGS:
+        result = _RUNNERS[app](n_pes=n_pes, n=n_pes * npp, h=h, seed=seed)
+        ok = result.sorted_ok if app != "fft" else result.verified
+        if not ok:
+            raise ConfigError(f"golden run {name} produced a wrong answer")
+        report = result.report
+        out[name] = {
+            "runtime_cycles": report.runtime_cycles,
+            "events_fired": report.events_fired,
+            "comm_cycles": report.breakdown.communication,
+            "switching_cycles": report.breakdown.switching,
+            "computation_cycles": report.breakdown.computation,
+            "overhead_cycles": report.breakdown.overhead,
+            "network_packets": report.network.packets,
+            "total_switches": sum(c.total_switches for c in report.counters),
+        }
+    return out
+
+
+def write_goldens(directory: str | pathlib.Path) -> pathlib.Path:
+    """Write the golden payload (one file; name encodes nothing else)."""
+    path = pathlib.Path(directory) / "golden_runs.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(make_goldens(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare_goldens(directory: str | pathlib.Path) -> list[str]:
+    """Regenerate and diff against the stored goldens.
+
+    Returns a list of human-readable mismatches (empty = clean).
+    """
+    path = pathlib.Path(directory) / "golden_runs.json"
+    if not path.exists():
+        raise ConfigError(f"no golden file at {path}; run write_goldens first")
+    stored = json.loads(path.read_text())
+    fresh = make_goldens()
+    problems: list[str] = []
+    for name in sorted(set(stored) | set(fresh)):
+        if name not in stored:
+            problems.append(f"{name}: new golden config not in stored file")
+            continue
+        if name not in fresh:
+            problems.append(f"{name}: stored golden no longer generated")
+            continue
+        for key in sorted(set(stored[name]) | set(fresh[name])):
+            a, b = stored[name].get(key), fresh[name].get(key)
+            if a != b:
+                problems.append(f"{name}.{key}: stored {a} != measured {b}")
+    return problems

@@ -1,0 +1,13 @@
+"""EMC-Y instruction-cost model.
+
+The EXU is a register-based RISC pipeline: integer and single-precision
+FP instructions retire in one cycle, FP division and the memory-exchange
+instruction are multi-cycle, and packet generation takes one cycle.
+Guest programs do not execute a real ISA — they *charge* cycle budgets
+computed from these tables, which is exactly the granularity the paper's
+analysis works at (run lengths, switch costs, latencies).
+"""
+
+from .costs import CostModel, InstructionClass, KERNEL_COSTS, KernelCosts
+
+__all__ = ["CostModel", "InstructionClass", "KernelCosts", "KERNEL_COSTS"]

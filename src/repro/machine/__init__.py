@@ -1,0 +1,13 @@
+"""Machine assembly: processors + network + runtime services.
+
+:class:`~repro.machine.machine.EMX` is the user-facing facade — build
+one from a :class:`~repro.config.MachineConfig`, register thread
+functions, spawn initial threads, and :meth:`run`.  Presets mirror the
+hardware (the 80-PE prototype) and the paper's experimental platforms
+(16 and 64 processors).
+"""
+
+from .machine import EMX, MachineReport
+from .presets import emx80, paper_machine, small_machine
+
+__all__ = ["EMX", "MachineReport", "emx80", "paper_machine", "small_machine"]

@@ -1,0 +1,34 @@
+"""Machine presets.
+
+* :func:`emx80` — the prototype: 80 EMC-Y processors on the circular
+  Omega network, exactly as installed at the Electrotechnical Laboratory
+  in December 1995.
+* :func:`paper_machine` — the paper's experimental platforms (16 or 64
+  processors).
+* :func:`small_machine` — small, fast machines for tests and examples.
+"""
+
+from __future__ import annotations
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+from .machine import EMX
+
+__all__ = ["emx80", "paper_machine", "small_machine"]
+
+
+def emx80(**overrides) -> EMX:
+    """The 80-processor EM-X prototype."""
+    return EMX(MachineConfig(n_pes=80).with_(**overrides))
+
+
+def paper_machine(n_pes: int, **overrides) -> EMX:
+    """One of the paper's two experiment platforms (16 or 64 PEs)."""
+    if n_pes not in (16, 64):
+        raise ConfigError(f"the paper evaluates P=16 and P=64, got {n_pes}")
+    return EMX(MachineConfig(n_pes=n_pes).with_(**overrides))
+
+
+def small_machine(n_pes: int = 4, **overrides) -> EMX:
+    """A small machine for unit tests and quickstart examples."""
+    return EMX(MachineConfig(n_pes=n_pes, memory_words=1 << 16).with_(**overrides))

@@ -1,0 +1,23 @@
+"""Per-processor memory system.
+
+Each EMC-Y has 4 MB of one-level static memory holding two storage
+resources: *template segments* (compiled thread code) and *operand
+segments* (activation frames).  This package models word-addressed local
+memory with bounds checking, a segment allocator, the activation-frame
+tree, and the matching memory used for two-token direct matching.
+"""
+
+from .frames import ActivationFrame, FrameTable
+from .matching import MatchingMemory
+from .memory import LocalMemory
+from .segments import Segment, SegmentAllocator, SegmentKind
+
+__all__ = [
+    "LocalMemory",
+    "Segment",
+    "SegmentAllocator",
+    "SegmentKind",
+    "ActivationFrame",
+    "FrameTable",
+    "MatchingMemory",
+]

@@ -1,0 +1,119 @@
+"""Activation frames and the per-processor frame tree.
+
+Invoking a function allocates an operand segment as an activation frame;
+"activation frames (threads) form a tree rather than a stack, reflecting
+a dynamic calling structure" (§2.3).  The frame holds the thread's saved
+registers across explicit context switches (no register sharing between
+threads) and links to its parent/children so the runtime can assert the
+tree shape and reclaim frames when threads finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import SegmentError
+from .segments import Segment, SegmentAllocator, SegmentKind
+
+__all__ = ["ActivationFrame", "FrameTable"]
+
+#: Words reserved per frame for saved registers (the EXU has 32
+#: registers, of which a handful are live at a fine-grain switch point).
+FRAME_REGISTER_WORDS = 32
+
+
+@dataclass
+class ActivationFrame:
+    """One thread's activation frame."""
+
+    frame_id: int
+    pe: int
+    segment: Segment
+    parent_id: int | None = None
+    children: list[int] = field(default_factory=list)
+    #: Saved register image; ``None`` while the thread is running.
+    saved_registers: tuple[Any, ...] | None = None
+    live: bool = True
+
+    def save_registers(self, values: tuple[Any, ...]) -> None:
+        """Record the register image at a context switch."""
+        self.saved_registers = values
+
+    def restore_registers(self) -> tuple[Any, ...]:
+        """Return and clear the saved register image."""
+        regs = self.saved_registers if self.saved_registers is not None else ()
+        self.saved_registers = None
+        return regs
+
+
+class FrameTable:
+    """Allocates and tracks activation frames for one processor."""
+
+    def __init__(self, allocator: SegmentAllocator, pe: int) -> None:
+        self._alloc = allocator
+        self.pe = pe
+        self._frames: dict[int, ActivationFrame] = {}
+        self._next_id = 0
+        self.peak_live = 0
+
+    def create(self, parent_id: int | None = None, extra_words: int = 0) -> ActivationFrame:
+        """Allocate a frame (register save area + ``extra_words`` locals)."""
+        if parent_id is not None and parent_id not in self._frames:
+            raise SegmentError(f"parent frame {parent_id} does not exist on PE {self.pe}")
+        seg = self._alloc.alloc(FRAME_REGISTER_WORDS + extra_words, SegmentKind.OPERAND)
+        frame = ActivationFrame(self._next_id, self.pe, seg, parent_id)
+        self._frames[frame.frame_id] = frame
+        self._next_id += 1
+        if parent_id is not None:
+            self._frames[parent_id].children.append(frame.frame_id)
+        self.peak_live = max(self.peak_live, self.live_count)
+        return frame
+
+    def release(self, frame_id: int) -> None:
+        """Free a finished thread's frame.
+
+        The frame must have no live children — children return results
+        to their caller's continuation before dying, so a parent
+        outliving its children is the invariant, not the exception.
+        """
+        frame = self._frames.get(frame_id)
+        if frame is None or not frame.live:
+            raise SegmentError(f"release of unknown/dead frame {frame_id} on PE {self.pe}")
+        live_children = [c for c in frame.children if self._frames[c].live]
+        if live_children:
+            raise SegmentError(
+                f"frame {frame_id} on PE {self.pe} released with live children {live_children}"
+            )
+        frame.live = False
+        self._alloc.free(frame.segment)
+
+    def get(self, frame_id: int) -> ActivationFrame:
+        """Look up a frame by id."""
+        try:
+            return self._frames[frame_id]
+        except KeyError:
+            raise SegmentError(f"no frame {frame_id} on PE {self.pe}") from None
+
+    @property
+    def live_count(self) -> int:
+        """Number of live frames."""
+        return sum(1 for f in self._frames.values() if f.live)
+
+    def assert_tree(self) -> None:
+        """Validate the parent/child structure is acyclic and consistent."""
+        for frame in self._frames.values():
+            for child in frame.children:
+                if self._frames[child].parent_id != frame.frame_id:
+                    raise SegmentError(
+                        f"frame tree corrupt on PE {self.pe}: child {child} "
+                        f"does not point back to {frame.frame_id}"
+                    )
+            # Walk to the root, bounded by table size, to catch cycles.
+            seen = set()
+            node: int | None = frame.frame_id
+            while node is not None:
+                if node in seen:
+                    raise SegmentError(f"frame tree cycle through {node} on PE {self.pe}")
+                seen.add(node)
+                node = self._frames[node].parent_id

@@ -1,0 +1,55 @@
+"""Matching memory for two-token direct matching.
+
+The Matching Unit pairs dataflow tokens: when a thread's first operand
+packet arrives it is parked in matching memory keyed by the activation
+frame slot; the second arrival *matches*, the mate datum is loaded, and
+the thread fires with both operands (§2.2, step "loading mate data from
+matching memory").  The fine-grain runtime uses this for two-input
+thread starts; single-operand packets bypass matching entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SchedulerError
+
+__all__ = ["MatchingMemory"]
+
+
+class MatchingMemory:
+    """Parked first operands, keyed by (frame_id, slot)."""
+
+    __slots__ = ("_parked", "matches", "parks")
+
+    def __init__(self) -> None:
+        self._parked: dict[tuple[int, int], Any] = {}
+        self.matches = 0
+        self.parks = 0
+
+    def offer(self, frame_id: int, slot: int, value: Any) -> tuple[Any, Any] | None:
+        """Offer one operand token.
+
+        Returns ``None`` if the token was parked to wait for its mate,
+        or the ``(first, second)`` operand pair when the match fires.
+        """
+        key = (frame_id, slot)
+        if key in self._parked:
+            first = self._parked.pop(key)
+            self.matches += 1
+            return (first, value)
+        self._parked[key] = value
+        self.parks += 1
+        return None
+
+    def cancel(self, frame_id: int, slot: int) -> Any:
+        """Discard a parked token (frame teardown); returns its value."""
+        try:
+            return self._parked.pop((frame_id, slot))
+        except KeyError:
+            raise SchedulerError(f"no parked token at frame={frame_id} slot={slot}") from None
+
+    @property
+    def pending(self) -> int:
+        """Tokens currently waiting for a mate."""
+        return len(self._parked)

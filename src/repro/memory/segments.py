@@ -1,0 +1,121 @@
+"""Template and operand segments.
+
+EM-X software uses two storage resources (§2.3): *template segments*
+holding compiled functions and *operand segments* allocated as
+activation frames when a function is invoked.  The allocator hands out
+non-overlapping word ranges from one :class:`~repro.memory.LocalMemory`
+with a first-fit free list, and frees coalesce with neighbours so
+long-running guest programs (one frame per thread invocation, nested
+arbitrarily) do not fragment memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import SegmentError
+
+__all__ = ["SegmentKind", "Segment", "SegmentAllocator"]
+
+
+class SegmentKind(enum.Enum):
+    """What a segment stores."""
+
+    TEMPLATE = "template"  # compiled thread code
+    OPERAND = "operand"  # activation frame
+    BUFFER = "buffer"  # guest data arrays / packet overflow area
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous word range owned by one allocation."""
+
+    kind: SegmentKind
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last word of the segment."""
+        return self.base + self.size
+
+    def contains(self, offset: int) -> bool:
+        """True if ``offset`` lies inside this segment."""
+        return self.base <= offset < self.end
+
+
+class SegmentAllocator:
+    """First-fit allocator with coalescing free over a word arena."""
+
+    def __init__(self, capacity: int, base: int = 0) -> None:
+        if capacity < 1:
+            raise SegmentError(f"arena capacity must be >= 1 word, got {capacity}")
+        if base < 0:
+            raise SegmentError(f"arena base must be >= 0, got {base}")
+        self.base = base
+        self.capacity = capacity
+        # Sorted list of free (base, size) holes.
+        self._free: list[tuple[int, int]] = [(base, capacity)]
+        self._live: dict[int, Segment] = {}
+
+    # ------------------------------------------------------------------
+    def alloc(self, size: int, kind: SegmentKind = SegmentKind.BUFFER) -> Segment:
+        """Allocate ``size`` words; raises :class:`SegmentError` when full."""
+        if size < 1:
+            raise SegmentError(f"segment size must be >= 1 word, got {size}")
+        for i, (hole_base, hole_size) in enumerate(self._free):
+            if hole_size >= size:
+                seg = Segment(kind, hole_base, size)
+                rest = hole_size - size
+                if rest:
+                    self._free[i] = (hole_base + size, rest)
+                else:
+                    del self._free[i]
+                self._live[seg.base] = seg
+                return seg
+        raise SegmentError(
+            f"out of segment memory: need {size} words, "
+            f"largest hole {max((s for _, s in self._free), default=0)}"
+        )
+
+    def free(self, seg: Segment) -> None:
+        """Return a segment to the arena, coalescing adjacent holes."""
+        live = self._live.pop(seg.base, None)
+        if live is None or live != seg:
+            raise SegmentError(f"double free or foreign segment: {seg}")
+        # Insert hole keeping the list sorted, then coalesce neighbours.
+        lo, n = 0, len(self._free)
+        while lo < n and self._free[lo][0] < seg.base:
+            lo += 1
+        self._free.insert(lo, (seg.base, seg.size))
+        # Coalesce with successor first, then predecessor.
+        if lo + 1 < len(self._free):
+            nb, ns = self._free[lo + 1]
+            if seg.base + seg.size == nb:
+                self._free[lo] = (seg.base, seg.size + ns)
+                del self._free[lo + 1]
+        if lo > 0:
+            pb, ps = self._free[lo - 1]
+            cb, cs = self._free[lo]
+            if pb + ps == cb:
+                self._free[lo - 1] = (pb, ps + cs)
+                del self._free[lo]
+
+    # ------------------------------------------------------------------
+    @property
+    def live_segments(self) -> list[Segment]:
+        """Currently allocated segments, in base order."""
+        return sorted(self._live.values(), key=lambda s: s.base)
+
+    @property
+    def free_words(self) -> int:
+        """Total unallocated words."""
+        return sum(size for _, size in self._free)
+
+    def owner_of(self, offset: int) -> Segment | None:
+        """The live segment containing ``offset``, if any (linear scan)."""
+        for seg in self._live.values():
+            if seg.contains(offset):
+                return seg
+        return None

@@ -1,0 +1,30 @@
+"""Instrumentation: cycle buckets, switch counters, overlap analysis.
+
+The paper decomposes execution time into four components — computation,
+overhead (packet generation), communication, and switching (Fig. 8) —
+and classifies context switches into remote-read, iteration-sync and
+thread-sync switches (Fig. 9).  This package implements exactly that
+accounting plus the overlap-efficiency metric of Fig. 7.
+"""
+
+from .ascii_plot import plot_curves
+from .breakdown import Breakdown, aggregate_breakdown
+from .counters import Bucket, PECounters, SwitchKind
+from .overlap import overlap_efficiency, overlap_series
+from .report import format_table
+from .serialize import counters_to_dict, report_to_dict, report_to_json
+
+__all__ = [
+    "Bucket",
+    "SwitchKind",
+    "PECounters",
+    "Breakdown",
+    "aggregate_breakdown",
+    "overlap_efficiency",
+    "overlap_series",
+    "format_table",
+    "counters_to_dict",
+    "report_to_dict",
+    "report_to_json",
+    "plot_curves",
+]

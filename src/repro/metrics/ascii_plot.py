@@ -1,0 +1,78 @@
+"""Terminal charts: log-scale curve plots for the figure CLI.
+
+The paper's figures are log-y plots of a handful of curves; this module
+renders the same thing in a terminal so `python -m repro fig6 a --plot`
+shows the shape at a glance without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import SimulationError
+
+__all__ = ["plot_curves"]
+
+_MARKS = "ox+*#@%&"
+
+
+def plot_curves(
+    curves: dict[str, dict[int, float]],
+    width: int = 64,
+    height: int = 16,
+    logy: bool = True,
+    title: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named x→y curves as an ASCII chart.
+
+    Each curve gets one marker character; the legend maps markers to
+    names.  ``logy`` spaces the y-axis logarithmically (the paper's
+    style for Figs. 6 and 9); non-positive values require ``logy=False``.
+    """
+    if not curves or not any(curves.values()):
+        return "(no data)"
+    if width < 16 or height < 4:
+        raise SimulationError(f"plot area too small: {width}x{height}")
+    if len(curves) > len(_MARKS):
+        raise SimulationError(f"at most {len(_MARKS)} curves, got {len(curves)}")
+
+    xs = sorted({x for curve in curves.values() for x in curve})
+    ys = [y for curve in curves.values() for y in curve.values()]
+    if logy and min(ys) <= 0:
+        raise SimulationError("log-scale plot needs positive values; pass logy=False")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    lo, hi = min(ty(y) for y in ys), max(ty(y) for y in ys)
+    if hi == lo:
+        hi = lo + 1.0
+    x_lo, x_hi = xs[0], xs[-1]
+    x_span = max(x_hi - x_lo, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, curve), mark in zip(curves.items(), _MARKS):
+        for x, y in sorted(curve.items()):
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    def ylab(value: float) -> str:
+        real = 10**value if logy else value
+        return f"{real:9.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        frac = (height - 1 - i) / (height - 1)
+        label = ylab(lo + frac * (hi - lo)) if i in (0, height // 2, height - 1) else " " * 9
+        lines.append(f"{label} |{''.join(row)}|")
+    axis = f"{'':9} +{'-' * width}+"
+    lines.append(axis)
+    xlabels = f"{'':9}  {x_lo:<8}{'threads':^{max(width - 16, 7)}}{x_hi:>8}"
+    lines.append(xlabels)
+    legend = "  ".join(f"{mark}={name}" for (name, _), mark in zip(curves.items(), _MARKS))
+    lines.append(f"{'':9}  {legend}" + (f"   [{ylabel}]" if ylabel else ""))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Execution-time decomposition (Fig. 8).
+
+The paper plots, for each thread count, the percentage split of
+execution time into computation, overhead, communication and switching,
+"listed from the bottom".  :class:`Breakdown` carries the machine-wide
+cycle totals and exposes the percentage view; the internal IDLE bucket
+(no live threads) is reported separately and excluded from the
+percentages, mirroring the paper's busy-time normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import SimulationError
+from .counters import Bucket, PECounters
+
+__all__ = ["Breakdown", "aggregate_breakdown"]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Cycle totals per component, summed over processors."""
+
+    computation: int
+    overhead: int
+    communication: int
+    switching: int
+    idle: int = 0
+
+    @property
+    def accounted(self) -> int:
+        """Cycles in the paper's four components (IDLE excluded)."""
+        return self.computation + self.overhead + self.communication + self.switching
+
+    @property
+    def total(self) -> int:
+        """All attributed cycles including IDLE."""
+        return self.accounted + self.idle
+
+    def fractions(self) -> dict[str, float]:
+        """The four components as fractions of the accounted time."""
+        if self.accounted == 0:
+            raise SimulationError("breakdown of an empty run")
+        acc = self.accounted
+        return {
+            "computation": self.computation / acc,
+            "overhead": self.overhead / acc,
+            "communication": self.communication / acc,
+            "switching": self.switching / acc,
+        }
+
+    def percentages(self) -> dict[str, float]:
+        """The four components in percent (Fig. 8's y-axis)."""
+        return {k: 100.0 * v for k, v in self.fractions().items()}
+
+    def __add__(self, other: "Breakdown") -> "Breakdown":
+        return Breakdown(
+            self.computation + other.computation,
+            self.overhead + other.overhead,
+            self.communication + other.communication,
+            self.switching + other.switching,
+            self.idle + other.idle,
+        )
+
+
+def aggregate_breakdown(counters: Iterable[PECounters]) -> Breakdown:
+    """Sum per-PE cycle buckets into one machine-wide breakdown."""
+    comp = over = comm = sw = idle = 0
+    for c in counters:
+        comp += c.cycles[Bucket.COMPUTATION]
+        over += c.cycles[Bucket.OVERHEAD]
+        comm += c.cycles[Bucket.COMMUNICATION]
+        sw += c.cycles[Bucket.SWITCHING]
+        idle += c.cycles[Bucket.IDLE]
+    return Breakdown(comp, over, comm, sw, idle)

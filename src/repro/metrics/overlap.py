@@ -1,0 +1,48 @@
+"""Overlap efficiency (Fig. 7).
+
+The paper defines the efficiency of overlapping as
+
+    E = (T_comm,1 − T_comm,h) / T_comm,1
+
+— the fraction of the single-thread communication time that
+multithreading with *h* threads managed to hide.  One thread can never
+overlap anything ("there is no other thread to switch to"), so E(1) = 0
+by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..errors import SimulationError
+
+__all__ = ["overlap_efficiency", "overlap_series"]
+
+
+def overlap_efficiency(comm_one_thread: float, comm_h_threads: float) -> float:
+    """E = (T₁ − Tₕ) / T₁, as a fraction (0.35 ↔ 35 %).
+
+    Negative values are legal and meaningful: past the optimal thread
+    count, excessive switching makes communication time *worse* than
+    single-threaded (the paper's "larger numbers of threads have
+    adversely affected the amount of overlapping").
+    """
+    if comm_one_thread <= 0:
+        raise SimulationError(
+            f"one-thread communication time must be positive, got {comm_one_thread}"
+        )
+    if comm_h_threads < 0:
+        raise SimulationError(f"negative communication time {comm_h_threads}")
+    return (comm_one_thread - comm_h_threads) / comm_one_thread
+
+
+def overlap_series(comm_by_threads: Mapping[int, float]) -> dict[int, float]:
+    """Per-thread-count efficiency from a Fig. 6-style series.
+
+    ``comm_by_threads`` maps thread count → communication time; the
+    entry for one thread is the baseline and must be present.
+    """
+    if 1 not in comm_by_threads:
+        raise SimulationError("overlap series needs the one-thread baseline")
+    base = comm_by_threads[1]
+    return {h: overlap_efficiency(base, t) for h, t in sorted(comm_by_threads.items())}

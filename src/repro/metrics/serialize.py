@@ -1,0 +1,74 @@
+"""Machine-readable experiment records.
+
+Reports and run records serialise to plain dictionaries (JSON-safe) so
+downstream tooling — plotting scripts, regression trackers, the CLI's
+``--json`` flag — can consume runs without importing simulator types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import SimulationError
+from .counters import Bucket, PECounters, SwitchKind
+
+__all__ = ["counters_to_dict", "report_to_dict", "report_to_json"]
+
+
+def counters_to_dict(c: PECounters) -> dict[str, Any]:
+    """One processor's counters as a JSON-safe dict."""
+    return {
+        "pe": c.pe,
+        "cycles": {b.value: v for b, v in c.cycles.items()},
+        "switches": {k.value: v for k, v in c.switches.items()},
+        "reads_issued": c.reads_issued,
+        "block_reads_issued": c.block_reads_issued,
+        "block_words_requested": c.block_words_requested,
+        "writes_issued": c.writes_issued,
+        "spawns_issued": c.spawns_issued,
+        "reads_serviced": c.reads_serviced,
+        "packets_handled": c.packets_handled,
+        "threads_started": c.threads_started,
+        "threads_finished": c.threads_finished,
+        "ibu_overflows": c.ibu_overflows,
+        "sync_stall_cycles": c.sync_stall_cycles,
+        "busy_span": c.busy_span,
+    }
+
+
+def report_to_dict(report) -> dict[str, Any]:
+    """A :class:`~repro.machine.MachineReport` as a JSON-safe dict."""
+    breakdown = report.breakdown
+    return {
+        "config": {
+            "n_pes": report.config.n_pes,
+            "em4_mode": report.config.em4_mode,
+            "network_model": report.config.network_model,
+            "priority_replies": report.config.priority_replies,
+            "seed": report.config.seed,
+        },
+        "runtime_cycles": report.runtime_cycles,
+        "runtime_seconds": report.runtime_seconds,
+        "comm_seconds": report.comm_seconds,
+        "comm_fig6_seconds": report.comm_fig6_seconds,
+        "events_fired": report.events_fired,
+        "breakdown_pct": breakdown.percentages(),
+        "switches_per_pe": {k.value: report.switches(k) for k in SwitchKind},
+        "network": {
+            "packets": report.network.packets,
+            "words": report.network.words,
+            "mean_latency": report.network.mean_latency,
+            "max_latency": report.network.max_latency,
+            "mean_hops": report.network.mean_hops,
+        },
+        "per_pe": [counters_to_dict(c) for c in report.counters],
+    }
+
+
+def report_to_json(report, indent: int | None = None) -> str:
+    """Serialise a report to a JSON string (round-trippable by json)."""
+    try:
+        return json.dumps(report_to_dict(report), indent=indent)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - safety net
+        raise SimulationError(f"report not JSON-serialisable: {exc}") from exc

@@ -1,0 +1,28 @@
+"""The EM-X interconnect: a circular Omega network of 3×3 switch boxes.
+
+Each processor is attached to one switch box; boxes are connected in
+perfect-shuffle stages and packets carry destination tags, hopping
+``node' = (2·node + b) mod S`` until the tag matches.  A packet reaches
+a processor *k* hops away in *k + 1* cycles by virtual cut-through, and
+every port moves one 2-word packet per two cycles.
+
+Two contention models share the same topology and latency arithmetic:
+
+* :class:`DetailedOmegaNetwork` books every switch output port along the
+  route (FIFO, non-overtaking);
+* :class:`AnalyticOmegaNetwork` books only the endpoint injection and
+  ejection ports, approximating an uncongested fabric.
+"""
+
+from .network import AnalyticOmegaNetwork, DetailedOmegaNetwork, OmegaNetworkBase, build_network
+from .stats import NetworkStats
+from .topology import CircularOmegaTopology
+
+__all__ = [
+    "CircularOmegaTopology",
+    "OmegaNetworkBase",
+    "DetailedOmegaNetwork",
+    "AnalyticOmegaNetwork",
+    "build_network",
+    "NetworkStats",
+]

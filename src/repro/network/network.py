@@ -1,0 +1,181 @@
+"""Packet transport over the circular Omega fabric.
+
+Both network models compute a packet's delivery time *at injection* by
+walking its route and reserving output-port time slots (one 2-word
+packet per two cycles per port), then schedule a single delivery event.
+This reproduces virtual cut-through timing — k hops arrive k+1 cycles
+after injection when uncontended — without per-hop events, and the
+monotonic port reservations enforce the switch unit's message
+non-overtaking rule.
+
+:class:`DetailedOmegaNetwork` reserves every switch output port on the
+route; :class:`AnalyticOmegaNetwork` reserves only the endpoint
+injection/ejection ports, modelling an uncongested fabric.  Experiment
+A3 quantifies how little they differ at the paper's traffic levels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..config import MachineConfig, TimingModel
+from ..errors import NetworkError
+from ..packet import Packet
+from ..sim import Engine
+from .stats import NetworkStats
+from .topology import CircularOmegaTopology
+
+__all__ = [
+    "OmegaNetworkBase",
+    "DetailedOmegaNetwork",
+    "AnalyticOmegaNetwork",
+    "build_network",
+]
+
+DeliverFn = Callable[[Packet], None]
+
+
+class OmegaNetworkBase:
+    """Common machinery: attachment, port reservation, delivery."""
+
+    def __init__(self, engine: Engine, topology: CircularOmegaTopology, timing: TimingModel) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.timing = timing
+        self.stats = NetworkStats()
+        self._sinks: dict[int, DeliverFn] = {}
+        self._port_free: dict[tuple, int] = {}
+        self._port_busy_cycles: dict[tuple, int] = {}
+        self.in_flight = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, pe: int, deliver: DeliverFn) -> None:
+        """Register the packet sink (the PE's switching unit) for ``pe``."""
+        if pe in self._sinks:
+            raise NetworkError(f"PE {pe} already attached")
+        self._sinks[pe] = deliver
+
+    def send(self, pkt: Packet) -> None:
+        """Inject ``pkt`` now; schedules its delivery event."""
+        if pkt.dst not in self._sinks:
+            raise NetworkError(f"packet to unattached PE {pkt.dst}: {pkt!r}")
+        pkt.born = self.engine.now
+        arrival, hops = self._transit(pkt)
+        self.stats.record(pkt, hops, arrival - pkt.born)
+        self.in_flight += 1
+        self.engine.schedule_at(arrival, self._deliver, pkt)
+
+    def _deliver(self, pkt: Packet) -> None:
+        self.in_flight -= 1
+        self._sinks[pkt.dst](pkt)
+
+    # ------------------------------------------------------------------
+    def _reserve(self, port: tuple, earliest: int, occupancy: int) -> int:
+        """Book ``occupancy`` cycles on ``port``; returns departure time."""
+        depart = max(earliest, self._port_free.get(port, 0))
+        self._port_free[port] = depart + occupancy
+        self._port_busy_cycles[port] = self._port_busy_cycles.get(port, 0) + occupancy
+        return depart
+
+    def _transit(self, pkt: Packet) -> tuple[int, int]:
+        """Return (arrival_cycle, hop_count); implemented by subclasses."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def probe_latency(self, src: int, dst: int) -> int:
+        """Uncongested one-way latency in cycles (k hops → k+1)."""
+        return self.topology.latency_cycles(src, dst)
+
+    # ------------------------------------------------------------------
+    def port_utilization(self, horizon: int | None = None) -> dict[tuple, float]:
+        """Busy fraction of every port ever used, over ``horizon`` cycles.
+
+        Keys are ``("inj", pe)``, ``("ej", pe)`` and — detailed model
+        only — ``("sw", node, bit)``.  This is the hotspot diagnostic
+        behind the fabric-boundedness analysis in EXPERIMENTS.md: a port
+        near 1.0 is the reply-rate bottleneck that multithreading cannot
+        mask.
+        """
+        span = horizon if horizon is not None else self.engine.now
+        if span <= 0:
+            return {}
+        return {port: busy / span for port, busy in self._port_busy_cycles.items()}
+
+    def hottest_ports(self, top: int = 8, horizon: int | None = None) -> list[tuple[tuple, float]]:
+        """The ``top`` busiest ports, hottest first."""
+        util = self.port_utilization(horizon)
+        return sorted(util.items(), key=lambda kv: -kv[1])[:top]
+
+
+class DetailedOmegaNetwork(OmegaNetworkBase):
+    """Per-stage contention with true arrival-order (FIFO) port service.
+
+    Each packet is simulated hop by hop as events: it queues at every
+    switch output port on its route and departs in arrival order — the
+    hardware's per-port FIFO — rather than in injection order, which
+    matters under load (a reservation-at-injection shortcut serialises
+    packets behind earlier-injected ones they would physically beat to
+    the port, inflating latency far beyond the queueing-theoretic
+    value).  Virtual cut-through timing is preserved: k hops arrive
+    k+1 cycles after injection when uncontended.
+    """
+
+    def send(self, pkt: Packet) -> None:
+        """Inject ``pkt`` now; it advances through per-hop events."""
+        if pkt.dst not in self._sinks:
+            raise NetworkError(f"packet to unattached PE {pkt.dst}: {pkt!r}")
+        pkt.born = self.engine.now
+        self.in_flight += 1
+        route = self.topology.route(pkt.src, pkt.dst)
+        self._hop(pkt, route, -1)
+
+    def _hop(self, pkt: Packet, route, idx: int) -> None:
+        """Arrive at stage ``idx`` (-1 = injection port, len = ejection)."""
+        slots = pkt.slots(self.timing.port_cycles_per_packet)
+        if idx == -1:
+            port = ("inj", pkt.src)
+        elif idx == len(route):
+            port = ("ej", pkt.dst)
+        else:
+            hop = route[idx]
+            port = ("sw", hop.node, hop.bit)
+        depart = self._reserve(port, self.engine.now, slots)
+        if idx == len(route):
+            arrival = depart + self.timing.eject
+            self.stats.record(pkt, len(route), arrival - pkt.born)
+            self.engine.schedule_at(arrival, self._deliver, pkt)
+            return
+        # Injection into the first switch is immediate; each shuffle
+        # hop afterwards costs one cycle of cut-through latency.
+        advance = 0 if idx == -1 else 1
+        when = depart + advance
+        if when <= self.engine.now:
+            self._hop(pkt, route, idx + 1)
+        else:
+            self.engine.schedule_at(when, self._hop, pkt, route, idx + 1)
+
+    def _transit(self, pkt: Packet) -> tuple[int, int]:  # pragma: no cover
+        raise NotImplementedError("detailed model advances packets per hop")
+
+
+class AnalyticOmegaNetwork(OmegaNetworkBase):
+    """Endpoint-only contention: fabric assumed conflict-free."""
+
+    def _transit(self, pkt: Packet) -> tuple[int, int]:
+        slots = pkt.slots(self.timing.port_cycles_per_packet)
+        hops = self.topology.hop_count(pkt.src, pkt.dst)
+        t = self._reserve(("inj", pkt.src), self.engine.now, slots)
+        t += hops
+        depart = self._reserve(("ej", pkt.dst), t, slots)
+        arrival = depart + self.timing.eject
+        return arrival, hops
+
+
+def build_network(engine: Engine, config: MachineConfig) -> OmegaNetworkBase:
+    """Construct the network model selected by ``config.network_model``."""
+    topo = CircularOmegaTopology(config.n_pes)
+    if config.network_model == "detailed":
+        return DetailedOmegaNetwork(engine, topo, config.timing)
+    if config.network_model == "analytic":
+        return AnalyticOmegaNetwork(engine, topo, config.timing)
+    raise NetworkError(f"unknown network model {config.network_model!r}")

@@ -1,0 +1,61 @@
+"""Interconnect statistics.
+
+Counts every packet the network carries, broken down by kind, with
+latency aggregates.  The microbenchmark experiments (remote-read latency
+≈ 1 µs) read these directly; the figure experiments use them to report
+traffic volumes alongside the per-processor cycle buckets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..packet import Packet, PacketKind
+
+__all__ = ["NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate packet counters for one network instance."""
+
+    packets: int = 0
+    words: int = 0
+    total_latency: int = 0
+    max_latency: int = 0
+    total_hops: int = 0
+    by_kind: Counter = field(default_factory=Counter)
+
+    def record(self, pkt: Packet, hops: int, latency: int) -> None:
+        """Account one delivered packet."""
+        self.packets += 1
+        self.words += pkt.words
+        self.total_hops += hops
+        self.total_latency += latency
+        if latency > self.max_latency:
+            self.max_latency = latency
+        self.by_kind[pkt.kind] += 1
+
+    @property
+    def mean_latency(self) -> float:
+        """Average injection-to-delivery latency in cycles."""
+        return self.total_latency / self.packets if self.packets else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        """Average switch hops per packet."""
+        return self.total_hops / self.packets if self.packets else 0.0
+
+    def count(self, kind: PacketKind) -> int:
+        """Packets delivered of one kind."""
+        return self.by_kind[kind]
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        kinds = ", ".join(f"{k.value}={v}" for k, v in sorted(self.by_kind.items(), key=lambda kv: kv[0].value))
+        return (
+            f"{self.packets} pkts ({self.words} words), "
+            f"mean latency {self.mean_latency:.1f} cyc (max {self.max_latency}), "
+            f"mean hops {self.mean_hops:.2f} [{kinds}]"
+        )

@@ -1,0 +1,21 @@
+"""Packets and global addressing.
+
+All EM-X communication is 2-word fixed-size packets: one word of address
+(destination processor + local offset, or a continuation) and one word
+of data.  This package defines the global address encoding and the
+packet kinds the model exchanges — remote read request/reply, remote
+write, block transfers, thread invocation, and the runtime's
+synchronisation packets.
+"""
+
+from .address import GlobalAddress, decode_address, encode_address
+from .packet import Packet, PacketKind, Priority
+
+__all__ = [
+    "GlobalAddress",
+    "encode_address",
+    "decode_address",
+    "Packet",
+    "PacketKind",
+    "Priority",
+]

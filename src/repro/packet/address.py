@@ -1,0 +1,58 @@
+"""Global addresses: (processor number, local word offset).
+
+The EM-X compiler supports a global address space; a remote memory
+access packet carries "the processor number and the local memory address
+of the selected processor" (§2.3).  We model that as a
+:class:`GlobalAddress` named tuple plus a packed single-word integer
+encoding (<pe:high bits><offset:32 bits>) used inside packets.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from ..errors import AddressError
+
+__all__ = ["GlobalAddress", "encode_address", "decode_address", "OFFSET_BITS"]
+
+#: Bits reserved for the local word offset in the packed encoding.
+OFFSET_BITS = 32
+_OFFSET_MASK = (1 << OFFSET_BITS) - 1
+
+
+class GlobalAddress(NamedTuple):
+    """A word address in the machine-wide global address space."""
+
+    pe: int
+    offset: int
+
+    def __add__(self, words: int) -> "GlobalAddress":  # type: ignore[override]
+        """Pointer arithmetic within one processor's memory."""
+        return GlobalAddress(self.pe, self.offset + words)
+
+    def packed(self) -> int:
+        """The single-word packed form carried in packets."""
+        return encode_address(self.pe, self.offset)
+
+    def __repr__(self) -> str:
+        return f"ga(pe={self.pe}, off={self.offset})"
+
+
+def encode_address(pe: int, offset: int) -> int:
+    """Pack (pe, offset) into one integer address word.
+
+    Raises :class:`AddressError` on negative components or an offset
+    that does not fit the 32-bit offset field.
+    """
+    if pe < 0:
+        raise AddressError(f"negative processor number {pe}")
+    if offset < 0 or offset > _OFFSET_MASK:
+        raise AddressError(f"offset {offset} outside the {OFFSET_BITS}-bit field")
+    return (pe << OFFSET_BITS) | offset
+
+
+def decode_address(word: int) -> GlobalAddress:
+    """Unpack an address word produced by :func:`encode_address`."""
+    if word < 0:
+        raise AddressError(f"negative address word {word}")
+    return GlobalAddress(word >> OFFSET_BITS, word & _OFFSET_MASK)

@@ -1,0 +1,109 @@
+"""Packet kinds and the packet record.
+
+Every EM-X packet is two 32-bit words: an address word and a data word.
+The four send-instruction families of the EMC-Y (remote read for one
+word, block read, remote write, thread invocation) plus the runtime's
+synchronisation traffic map onto :class:`PacketKind`.
+
+Thread-invocation packets logically carry argument words; hardware sends
+one packet per two words, which we model by making such a packet occupy
+``word_count() / 2`` packet slots of port bandwidth rather than by
+materialising the extra packet objects.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import PacketError
+
+__all__ = ["PacketKind", "Priority", "Packet"]
+
+_seq_counter = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """What a packet asks its destination to do."""
+
+    #: Split-phase read of one word; data word holds the continuation.
+    READ_REQ = "read_req"
+    #: Reply delivering one word to a continuation.
+    READ_REPLY = "read_reply"
+    #: Reply that is one operand of a two-token direct match: the first
+    #: arrival parks in matching memory (no EXU cycles); the second
+    #: fires the thread with both operands.
+    READ_REPLY_PAIR = "read_reply_pair"
+    #: Read ``count`` consecutive words; serviced as a reply burst.
+    BLOCK_READ_REQ = "block_read_req"
+    #: Reply delivering a whole block (modelled as one logical packet
+    #: occupying ``count`` packet slots of bandwidth).
+    BLOCK_READ_REPLY = "block_read_reply"
+    #: One-word remote write; never suspends the issuing thread.
+    WRITE = "write"
+    #: Invoke a thread (function spawn) at the destination.
+    INVOKE = "invoke"
+    #: Locally re-enqueue a suspended thread (spin re-check / token grant).
+    RESUME = "resume"
+    #: Runtime barrier traffic: a PE announcing local arrival.
+    SYNC_ARRIVE = "sync_arrive"
+    #: Runtime barrier traffic: the hub releasing a waiting PE.
+    SYNC_RELEASE = "sync_release"
+
+
+class Priority(enum.IntEnum):
+    """IBU buffer level; the IBU has two levels of priority FIFOs."""
+
+    HIGH = 0
+    NORMAL = 1
+
+
+@dataclass(slots=True)
+class Packet:
+    """One (logical) network packet.
+
+    Attributes
+    ----------
+    kind: what the packet does at the destination.
+    src, dst: processor numbers.
+    address: the packed address word (meaning depends on ``kind``).
+    data: the data word — a value, a continuation id, or a small tuple
+        for runtime packets.
+    words: logical payload width in 32-bit words (2 for ordinary
+        packets); only affects port bandwidth occupancy.
+    priority: which IBU FIFO receives it.
+    born: injection cycle (set by the sender), for latency accounting.
+    """
+
+    kind: PacketKind
+    src: int
+    dst: int
+    address: int = 0
+    data: Any = None
+    words: int = 2
+    priority: Priority = Priority.NORMAL
+    born: int = 0
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise PacketError(f"negative endpoint in packet {self.kind}: src={self.src} dst={self.dst}")
+        if self.words < 2:
+            raise PacketError(f"packet narrower than 2 words: {self.words}")
+
+    def slots(self, port_cycles_per_packet: int) -> int:
+        """Port occupancy in cycles, given the per-packet port rate.
+
+        A standard 2-word packet occupies ``port_cycles_per_packet``
+        cycles; wider logical packets occupy proportionally more.
+        """
+        n_packets = (self.words + 1) // 2
+        return n_packets * port_cycles_per_packet
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet({self.kind.value}, {self.src}->{self.dst}, "
+            f"addr={self.address}, data={self.data!r}, seq={self.seq})"
+        )

@@ -1,0 +1,74 @@
+"""The EMC-Y processing element: units, memory, and bookkeeping.
+
+One :class:`EMCYProcessor` aggregates the local memory system (memory,
+segment allocator, frame table, matching memory), the pipeline units
+(IBU, EXU, OBU), the continuation table, and the per-PE counters.  The
+machine attaches :meth:`deliver` (the Switching Unit's role) to the
+network as this PE's packet sink.
+"""
+
+from __future__ import annotations
+
+from ..core.continuation import ContinuationTable
+from ..memory import FrameTable, LocalMemory, MatchingMemory, SegmentAllocator
+from ..metrics.counters import PECounters
+from ..packet import Packet
+from .exu import ExecutionUnit
+from .ibu import InputBufferUnit
+from .obu import OutputBufferUnit
+
+__all__ = ["EMCYProcessor"]
+
+
+class EMCYProcessor:
+    """One processing element of the EM-X."""
+
+    def __init__(self, pe: int, machine) -> None:
+        self.pe = pe
+        self.machine = machine
+        config = machine.config
+
+        # Memory system (MCU-owned resources).
+        self.memory = LocalMemory(config.memory_words)
+        self.allocator = SegmentAllocator(config.memory_words)
+        self.frames = FrameTable(self.allocator, pe)
+        self.matching = MatchingMemory()
+
+        # Runtime bookkeeping.
+        self.continuations = ContinuationTable(pe)
+        self.counters = PECounters(pe)
+        self.live_threads = 0
+        #: Guest scratch shared by all threads on this PE (the apps keep
+        #: their per-processor program state here).
+        self.guest_state: dict = {}
+        #: Burst-level trace (populated when ``config.trace`` is set).
+        self.trace: list = []
+
+        # Pipeline units.
+        self.obu = OutputBufferUnit(pe, machine.engine, machine.network)
+        self.ibu = InputBufferUnit(self)
+        self.exu = ExecutionUnit(self)
+
+    # ------------------------------------------------------------------
+    def deliver(self, pkt: Packet) -> None:
+        """Switching Unit entry: a packet arrived for this PE."""
+        self.counters.packets_handled += 1
+        self.ibu.receive(pkt)
+
+    # ------------------------------------------------------------------
+    def idle(self) -> bool:
+        """True when this PE has no queued packets and no live threads."""
+        return self.ibu.queued == 0 and self.live_threads == 0
+
+    def stuck_report(self) -> str | None:
+        """Describe live-but-unreachable work for deadlock diagnosis."""
+        if self.live_threads == 0 and self.continuations.outstanding == 0:
+            return None
+        return (
+            f"PE {self.pe}: {self.live_threads} live threads, "
+            f"{self.continuations.outstanding} outstanding continuations, "
+            f"{self.ibu.queued} queued packets"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"EMCYProcessor(pe={self.pe}, live={self.live_threads})"

@@ -1,0 +1,487 @@
+"""Execution Unit: runs thread bursts and performs context switches.
+
+The EXU is event-driven: whenever it is free and the IBU holds a packet,
+it dequeues one (FIFO within priority level) and either
+
+* invokes a new thread (``INVOKE``),
+* resumes a suspended thread with a read reply (``READ_REPLY`` /
+  ``BLOCK_READ_REPLY``) or a local resume (``RESUME``), or
+* in EM-4 compatibility mode, services a remote read by itself.
+
+A *burst* drives the thread's generator from (re)entry to the next
+suspension point, accumulating cycles into the four accounting buckets.
+Packets generated mid-burst are injected at the exact cycle offset where
+their packet-generation instruction retires.  Idle gaps between bursts
+while the processor still has live threads are charged to the
+COMMUNICATION bucket — that is the unmasked latency the whole paper is
+about.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.effects import (
+    BarrierWait,
+    Call,
+    Compute,
+    RemoteRead,
+    RemoteReadBlock,
+    RemoteReadPair,
+    RemoteWrite,
+    RemoteWriteBlock,
+    Reply,
+    Spawn,
+    SwitchNow,
+    TokenAdvance,
+    TokenWait,
+)
+from ..core.thread import EMThread, ThreadState
+from ..errors import SchedulerError, ThreadProtocolError
+from ..metrics.counters import Bucket, SwitchKind
+from ..packet import Packet, PacketKind
+from ..trace import TraceEvent
+
+__all__ = ["ExecutionUnit"]
+
+
+def _invoke_words(n_args: int) -> int:
+    """Logical width of an INVOKE packet: template + frame + args words."""
+    return 2 * math.ceil((2 + n_args) / 2)
+
+
+class ExecutionUnit:
+    """The thread-running pipeline of one EMC-Y."""
+
+    def __init__(self, proc) -> None:
+        self._proc = proc
+        self.busy_until = 0
+        self._kick_scheduled = False
+        self._last_end: int | None = None
+
+    # ------------------------------------------------------------------
+    # Wake-up protocol
+    # ------------------------------------------------------------------
+    def notify(self) -> None:
+        """The IBU queued a packet; make sure a kick is pending."""
+        if self._kick_scheduled:
+            return
+        engine = self._proc.machine.engine
+        self._kick_scheduled = True
+        engine.schedule_at(max(engine.now, self.busy_until), self._kick)
+
+    def _kick(self) -> None:
+        self._kick_scheduled = False
+        engine = self._proc.machine.engine
+        if engine.now < self.busy_until:
+            self.notify()
+            return
+        item = self._proc.ibu.pop()
+        if item is None:
+            return  # idle; the gap is charged when the next burst starts
+        pkt, extra = item
+        self._account_gap(engine.now)
+        self._dispatch(pkt, extra)
+        if self._proc.ibu.queued:
+            self.notify()
+
+    def _account_gap(self, now: int) -> None:
+        if self._last_end is None or now <= self._last_end:
+            return
+        gap = now - self._last_end
+        counters = self._proc.counters
+        if self._proc.live_threads > 0:
+            counters.add_cycles(Bucket.COMMUNICATION, gap)
+            counters.comm_gap_count += 1
+            if gap > counters.comm_gap_max:
+                counters.comm_gap_max = gap
+            if self._proc.machine.config.trace:
+                self._proc.trace.append(TraceEvent(self._last_end, now, "idle"))
+        else:
+            counters.add_cycles(Bucket.IDLE, gap)
+
+    # ------------------------------------------------------------------
+    # Packet dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, pkt: Packet, extra: int) -> None:
+        kind = pkt.kind
+        timing = self._proc.machine.config.timing
+        if kind is PacketKind.INVOKE:
+            func_name, args, cont = pkt.data
+            thread = self._proc.machine.create_thread(self._proc.pe, func_name, args, cont)
+            self._run_burst(thread, None, timing.match_invoke + extra)
+        elif kind in (PacketKind.READ_REPLY, PacketKind.BLOCK_READ_REPLY):
+            thread, _tag = self._proc.continuations.resolve(pkt.address)
+            self._run_burst(thread, pkt.data, timing.match_invoke + extra)
+        elif kind is PacketKind.RESUME:
+            self._dispatch_resume(pkt, extra)
+        elif kind in (PacketKind.READ_REQ, PacketKind.BLOCK_READ_REQ):
+            self._em4_service(pkt, extra)
+        else:
+            raise SchedulerError(f"EXU cannot handle packet kind {kind}")
+
+    def _dispatch_resume(self, pkt: Packet, extra: int) -> None:
+        timing = self._proc.machine.config.timing
+        counters = self._proc.counters
+        reason = pkt.data[0]
+        if reason == "barrier":
+            _, thread, barrier, gen = pkt.data
+            if barrier.is_open(self._proc.pe, gen):
+                counters.add_switch(SwitchKind.ITER_SYNC)
+                self._run_burst(thread, None, timing.match_invoke + extra)
+            else:
+                # Spin re-check: a full switch through the FIFO.
+                engine = self._proc.machine.engine
+                cost = timing.match_invoke + timing.barrier_check + extra
+                counters.add_switch(SwitchKind.ITER_SYNC)
+                counters.add_cycles(Bucket.SWITCHING, cost)
+                counters.sync_stall_cycles += cost
+                t0 = engine.now
+                self.busy_until = t0 + cost
+                self._last_end = self.busy_until
+                counters.note_active(t0, self.busy_until)
+                if self._proc.machine.config.trace:
+                    self._proc.trace.append(TraceEvent(t0, self.busy_until, "spin"))
+                engine.schedule_at(
+                    self.busy_until + timing.barrier_recheck_interval,
+                    self._proc.ibu.enqueue,
+                    pkt,
+                )
+        elif reason in ("token", "explicit"):
+            self._run_burst(pkt.data[1], None, timing.match_invoke + extra)
+        else:
+            raise SchedulerError(f"unknown resume reason {reason!r}")
+
+    def _em4_service(self, pkt: Packet, extra: int) -> None:
+        """EM-4 compatibility: the EXU itself answers a remote read."""
+        proc = self._proc
+        timing = proc.machine.config.timing
+        engine = proc.machine.engine
+        offset = pkt.address & 0xFFFFFFFF
+        if pkt.kind is PacketKind.READ_REQ:
+            cost = timing.em4_read_service + extra
+            cont = pkt.data
+            if isinstance(cont, tuple) and cont[0] == "pair":
+                _, cid, slot = cont
+                reply = Packet(
+                    kind=PacketKind.READ_REPLY_PAIR,
+                    src=proc.pe,
+                    dst=pkt.src,
+                    address=cid,
+                    data=(slot, proc.memory.read(offset)),
+                )
+            else:
+                reply = Packet(
+                    kind=PacketKind.READ_REPLY,
+                    src=proc.pe,
+                    dst=pkt.src,
+                    address=cont,
+                    data=proc.memory.read(offset),
+                )
+        else:
+            cont, count = pkt.data
+            cost = timing.em4_read_service + count + extra
+            reply = Packet(
+                kind=PacketKind.BLOCK_READ_REPLY,
+                src=proc.pe,
+                dst=pkt.src,
+                address=cont,
+                data=proc.memory.read_block(offset, count),
+                words=2 * count,
+            )
+        proc.counters.reads_serviced += 1
+        proc.counters.add_cycles(Bucket.OVERHEAD, cost)
+        t0 = engine.now
+        self.busy_until = t0 + cost
+        self._last_end = self.busy_until
+        proc.counters.note_active(t0, self.busy_until)
+        if proc.machine.config.trace:
+            proc.trace.append(TraceEvent(t0, self.busy_until, "service"))
+        proc.obu.inject_at(self.busy_until, reply)
+
+    # ------------------------------------------------------------------
+    # Burst execution
+    # ------------------------------------------------------------------
+    def _run_burst(self, thread: EMThread, send_value, lead_switch: int) -> None:
+        proc = self._proc
+        timing = proc.machine.config.timing
+        engine = proc.machine.engine
+        counters = proc.counters
+        pe = proc.pe
+
+        t0 = engine.now
+        comp = 0
+        over = 0
+        sw = lead_switch
+        emits: list[tuple[int, Packet]] = []
+        local_resumes: list[Packet] = []  # enqueued at burst end (FIFO tail)
+        mid_resumes: list[tuple[int, Packet]] = []  # token wakes, at offset
+
+        thread.transition(ThreadState.RUNNING)
+        thread.bursts += 1
+        gen = thread.gen
+        finished = False
+
+        while True:
+            try:
+                eff = gen.send(send_value)
+            except StopIteration:
+                finished = True
+                break
+            send_value = None
+            et = type(eff)
+
+            if et is Compute:
+                comp += eff.cycles
+
+            elif et is RemoteRead:
+                over += timing.pkt_gen
+                sw += timing.reg_save
+                cid = proc.continuations.register(thread)
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.READ_REQ,
+                            src=pe,
+                            dst=eff.addr.pe,
+                            address=eff.addr.packed(),
+                            data=cid,
+                        ),
+                    )
+                )
+                counters.reads_issued += 1
+                counters.add_switch(SwitchKind.REMOTE_READ)
+                thread.transition(ThreadState.WAIT_READ)
+                break
+
+            elif et is RemoteReadPair:
+                over += 2 * timing.pkt_gen
+                sw += timing.reg_save
+                cid = proc.continuations.register(thread, tag="pair")
+                for slot, addr in ((0, eff.addr_a), (1, eff.addr_b)):
+                    emits.append(
+                        (
+                            comp + over + sw,
+                            Packet(
+                                kind=PacketKind.READ_REQ,
+                                src=pe,
+                                dst=addr.pe,
+                                address=addr.packed(),
+                                data=("pair", cid, slot),
+                            ),
+                        )
+                    )
+                counters.reads_issued += 2
+                counters.add_switch(SwitchKind.REMOTE_READ)
+                thread.transition(ThreadState.WAIT_READ)
+                break
+
+            elif et is RemoteReadBlock:
+                over += timing.pkt_gen
+                sw += timing.reg_save
+                cid = proc.continuations.register(thread)
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.BLOCK_READ_REQ,
+                            src=pe,
+                            dst=eff.addr.pe,
+                            address=eff.addr.packed(),
+                            data=(cid, eff.count),
+                        ),
+                    )
+                )
+                counters.block_reads_issued += 1
+                counters.block_words_requested += eff.count
+                counters.add_switch(SwitchKind.REMOTE_READ)
+                thread.transition(ThreadState.WAIT_READ)
+                break
+
+            elif et is RemoteWrite:
+                over += timing.pkt_gen
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.WRITE,
+                            src=pe,
+                            dst=eff.addr.pe,
+                            address=eff.addr.packed(),
+                            data=eff.value,
+                        ),
+                    )
+                )
+                counters.writes_issued += 1
+
+            elif et is RemoteWriteBlock:
+                n = len(eff.values)
+                over += timing.pkt_gen * max(1, n)
+                base = eff.addr
+                # One logical write packet per word, as the hardware does.
+                for i, value in enumerate(eff.values):
+                    emits.append(
+                        (
+                            comp + over + sw,
+                            Packet(
+                                kind=PacketKind.WRITE,
+                                src=pe,
+                                dst=base.pe,
+                                address=(base + i).packed(),
+                                data=value,
+                            ),
+                        )
+                    )
+                counters.writes_issued += n
+
+            elif et is Spawn:
+                words = _invoke_words(len(eff.args))
+                over += timing.pkt_gen * (words // 2)
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.INVOKE,
+                            src=pe,
+                            dst=eff.pe,
+                            data=(eff.func, eff.args, None),
+                            words=words,
+                        ),
+                    )
+                )
+                counters.spawns_issued += 1
+
+            elif et is Reply:
+                over += timing.pkt_gen
+                cont_pe, cid = eff.continuation
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.READ_REPLY,
+                            src=pe,
+                            dst=cont_pe,
+                            address=cid,
+                            data=eff.value,
+                        ),
+                    )
+                )
+
+            elif et is Call:
+                words = _invoke_words(len(eff.args) + 1)
+                over += timing.pkt_gen * (words // 2)
+                sw += timing.reg_save
+                cid = proc.continuations.register(thread)
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.INVOKE,
+                            src=pe,
+                            dst=eff.pe,
+                            data=(eff.func, eff.args, (pe, cid)),
+                            words=words,
+                        ),
+                    )
+                )
+                counters.spawns_issued += 1
+                counters.add_switch(SwitchKind.EXPLICIT)
+                thread.transition(ThreadState.WAIT_CALL)
+                break
+
+            elif et is TokenWait:
+                if eff.token.holds(eff.seq):
+                    comp += timing.int_op  # the successful inline check
+                    continue
+                sw += timing.reg_save
+                counters.add_switch(SwitchKind.THREAD_SYNC)
+                eff.token.park(eff.seq, thread)
+                thread.transition(ThreadState.WAIT_TOKEN)
+                break
+
+            elif et is TokenAdvance:
+                comp += timing.token_update
+                waiter = eff.token.advance()
+                if waiter is not None:
+                    mid_resumes.append(
+                        (
+                            comp + over + sw,
+                            Packet(
+                                kind=PacketKind.RESUME,
+                                src=pe,
+                                dst=pe,
+                                data=("token", waiter),
+                            ),
+                        )
+                    )
+
+            elif et is BarrierWait:
+                bar = eff.barrier
+                sw += timing.barrier_check
+                counters.add_switch(SwitchKind.ITER_SYNC)
+                gen_no, last_local = bar.arrive(pe)
+                if last_local:
+                    over += timing.pkt_gen
+                    emits.append(
+                        (
+                            comp + over + sw,
+                            Packet(
+                                kind=PacketKind.SYNC_ARRIVE,
+                                src=pe,
+                                dst=bar.hub,
+                                data=(bar.barrier_id, gen_no),
+                            ),
+                        )
+                    )
+                thread.transition(ThreadState.WAIT_BARRIER)
+                local_resumes.append(
+                    Packet(
+                        kind=PacketKind.RESUME,
+                        src=pe,
+                        dst=pe,
+                        data=("barrier", thread, bar, gen_no),
+                    )
+                )
+                break
+
+            elif et is SwitchNow:
+                sw += timing.reg_save
+                counters.add_switch(SwitchKind.EXPLICIT)
+                thread.transition(ThreadState.READY)
+                local_resumes.append(
+                    Packet(kind=PacketKind.RESUME, src=pe, dst=pe, data=("explicit", thread))
+                )
+                break
+
+            else:
+                raise ThreadProtocolError(
+                    f"thread {thread.name} yielded {eff!r}, which is not an Effect"
+                )
+
+        if finished:
+            self._finish_thread(thread)
+
+        total = comp + over + sw
+        self.busy_until = t0 + total
+        self._last_end = self.busy_until
+        counters.add_cycles(Bucket.COMPUTATION, comp)
+        counters.add_cycles(Bucket.OVERHEAD, over)
+        counters.add_cycles(Bucket.SWITCHING, sw)
+        counters.note_active(t0, self.busy_until)
+        if proc.machine.config.trace:
+            proc.trace.append(TraceEvent(t0, self.busy_until, "burst", thread.name))
+        for off, pkt in emits:
+            proc.obu.inject_at(t0 + off, pkt)
+        for off, pkt in mid_resumes:
+            engine.schedule_at(t0 + off, proc.ibu.enqueue, pkt)
+        for pkt in local_resumes:
+            engine.schedule_at(self.busy_until, proc.ibu.enqueue, pkt)
+
+    def _finish_thread(self, thread: EMThread) -> None:
+        proc = self._proc
+        thread.transition(ThreadState.DONE)
+        proc.live_threads -= 1
+        proc.machine.live_threads -= 1
+        proc.counters.threads_finished += 1
+        proc.frames.release(thread.frame.frame_id)

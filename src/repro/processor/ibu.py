@@ -1,0 +1,178 @@
+"""Input Buffer Unit: priority packet FIFOs and the by-passing DMA.
+
+Packets arriving from the network land here.  Two levels of priority
+FIFOs (8 on-chip packets each; excess spills to an on-memory buffer and
+is restored later, costing an extra memory access on dequeue) feed the
+EXU in FIFO order — this *is* the hardware thread scheduler.
+
+The IBU's headline feature is the **by-passing DMA**: remote read
+requests are serviced entirely inside the IBU→MCU→OBU path, "without
+consuming the cycles of the Execution Unit".  The EM-4 compatibility
+mode routes read requests to the EXU instead, where each one steals
+cycles like a one-instruction thread — the paper's explicit contrast.
+
+Barrier combine traffic (``SYNC_ARRIVE``/``SYNC_RELEASE``) is also
+handled at the IBU level: it updates barrier state without waking the
+EXU, the way the hardware's packet path touches matching memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import PacketError
+from ..packet import Packet, PacketKind, Priority
+
+__all__ = ["InputBufferUnit"]
+
+
+class InputBufferUnit:
+    """Receive path of one EMC-Y."""
+
+    def __init__(self, proc) -> None:
+        self._proc = proc
+        self._depth = proc.machine.config.ibu_fifo_depth
+        self._queues: dict[Priority, deque] = {
+            Priority.HIGH: deque(),
+            Priority.NORMAL: deque(),
+        }
+        self._dma_free = 0
+        self.received = 0
+        self.dma_serviced = 0
+
+    # ------------------------------------------------------------------
+    # Network-facing entry (the Switching Unit hands packets here).
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet) -> None:
+        """A packet arrived from the network at ``engine.now``."""
+        self.received += 1
+        kind = pkt.kind
+        if kind in (PacketKind.READ_REQ, PacketKind.BLOCK_READ_REQ):
+            if self._proc.machine.config.em4_mode:
+                self.enqueue(pkt)  # EXU will service it, EM-4 style
+            else:
+                self._dma_service(pkt)
+            return
+        if kind is PacketKind.READ_REPLY_PAIR:
+            # Two-token direct matching: the Matching Unit parks the
+            # first operand without waking the EXU; the second arrival
+            # fires the thread with both operands in slot order.
+            cid = pkt.address
+            mate = self._proc.matching.offer(cid, 0, pkt.data)
+            if mate is None:
+                return
+            (sa, va), (sb, vb) = mate
+            values = (va, vb) if sa < sb else (vb, va)
+            fire = Packet(
+                kind=PacketKind.READ_REPLY,
+                src=pkt.src,
+                dst=pkt.dst,
+                address=cid,
+                data=values,
+                priority=pkt.priority,
+            )
+            self.enqueue(fire)
+            return
+        if kind is PacketKind.SYNC_ARRIVE:
+            self._proc.machine.barrier_hub_arrive(pkt)
+            return
+        if kind is PacketKind.SYNC_RELEASE:
+            self._proc.machine.barrier_release(self._proc.pe, pkt)
+            return
+        if kind in (PacketKind.WRITE,):
+            # Remote writes complete in the IBU/MCU path, EXU untouched.
+            addr = pkt.address & 0xFFFFFFFF
+            self._proc.memory.write(addr, pkt.data)
+            return
+        self.enqueue(pkt)
+
+    # ------------------------------------------------------------------
+    # FIFO thread-scheduling queue
+    # ------------------------------------------------------------------
+    def enqueue(self, pkt: Packet) -> None:
+        """Queue a packet for the EXU (hardware FIFO scheduling)."""
+        q = self._queues[pkt.priority]
+        overflowed = len(q) >= self._depth
+        if overflowed:
+            self._proc.counters.ibu_overflows += 1
+        q.append((pkt, overflowed))
+        self._proc.exu.notify()
+
+    def pop(self) -> tuple[Packet, int] | None:
+        """Dequeue the next packet; returns (packet, extra_cycles).
+
+        High-priority first, FIFO within a level.  Packets restored from
+        the on-memory overflow buffer cost an extra memory access.
+        """
+        for prio in (Priority.HIGH, Priority.NORMAL):
+            q = self._queues[prio]
+            if q:
+                pkt, overflowed = q.popleft()
+                extra = self._proc.machine.config.timing.mem_exchange if overflowed else 0
+                return pkt, extra
+        return None
+
+    @property
+    def queued(self) -> int:
+        """Packets waiting for the EXU."""
+        return sum(len(q) for q in self._queues.values())
+
+    # ------------------------------------------------------------------
+    # By-passing DMA read service (EM-X's key feature)
+    # ------------------------------------------------------------------
+    def _dma_service(self, pkt: Packet) -> None:
+        timing = self._proc.machine.config.timing
+        engine = self._proc.machine.engine
+        if pkt.kind is PacketKind.READ_REQ:
+            words = 2
+        else:
+            words = 2 * pkt.data[1]  # block read: data = (cont, count)
+        cost = timing.ibu_dma_service + max(0, (words - 2) // 2)
+        start = max(engine.now, self._dma_free)
+        done = start + cost
+        self._dma_free = done
+        engine.schedule_at(done, self._dma_complete, pkt)
+
+    def _dma_complete(self, pkt: Packet) -> None:
+        proc = self._proc
+        proc.counters.reads_serviced += 1
+        self.dma_serviced += 1
+        offset = pkt.address & 0xFFFFFFFF
+        reply_priority = (
+            Priority.HIGH if proc.machine.config.priority_replies else Priority.NORMAL
+        )
+        if pkt.kind is PacketKind.READ_REQ:
+            cont = pkt.data
+            if isinstance(cont, tuple) and cont[0] == "pair":
+                _, cid, slot = cont
+                reply = Packet(
+                    kind=PacketKind.READ_REPLY_PAIR,
+                    src=proc.pe,
+                    dst=pkt.src,
+                    address=cid,
+                    data=(slot, proc.memory.read(offset)),
+                    priority=reply_priority,
+                )
+            else:
+                reply = Packet(
+                    kind=PacketKind.READ_REPLY,
+                    src=proc.pe,
+                    dst=pkt.src,
+                    address=cont,
+                    data=proc.memory.read(offset),
+                    priority=reply_priority,
+                )
+        elif pkt.kind is PacketKind.BLOCK_READ_REQ:
+            cont, count = pkt.data
+            reply = Packet(
+                kind=PacketKind.BLOCK_READ_REPLY,
+                src=proc.pe,
+                dst=pkt.src,
+                address=cont,
+                data=proc.memory.read_block(offset, count),
+                words=2 * count,
+                priority=reply_priority,
+            )
+        else:  # pragma: no cover - receive() filters kinds
+            raise PacketError(f"DMA cannot service {pkt.kind}")
+        proc.obu.inject(reply)

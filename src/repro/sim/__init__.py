@@ -1,0 +1,20 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free event engine: a stable priority queue of
+``(time, sequence, callback)`` entries and a run loop.  All of the EM-X
+model (network deliveries, processor wake-ups, DMA completions) is
+expressed as callbacks scheduled on one :class:`~repro.sim.engine.Engine`.
+"""
+
+from .clock import Clock, cycles_to_seconds, seconds_to_cycles
+from .engine import Engine
+from .queue import EventQueue, ScheduledEvent
+
+__all__ = [
+    "Clock",
+    "Engine",
+    "EventQueue",
+    "ScheduledEvent",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+]

@@ -1,0 +1,63 @@
+"""Simulated time: integer EMC-Y cycles and conversion to wall seconds.
+
+The whole simulator counts time in integer clock cycles of the 20 MHz
+EMC-Y.  Figures in the paper report seconds, so the experiment layer
+converts at the edge with :func:`cycles_to_seconds`.
+"""
+
+from __future__ import annotations
+
+from ..config import CYCLE_SECONDS
+from ..errors import SimulationError
+
+__all__ = ["Clock", "cycles_to_seconds", "seconds_to_cycles"]
+
+
+def cycles_to_seconds(cycles: int) -> float:
+    """Convert an EMC-Y cycle count to seconds (50 ns per cycle)."""
+    return cycles * CYCLE_SECONDS
+
+
+def seconds_to_cycles(seconds: float) -> int:
+    """Convert seconds to the nearest whole EMC-Y cycle count."""
+    return round(seconds / CYCLE_SECONDS)
+
+
+class Clock:
+    """A monotonically advancing cycle counter.
+
+    The engine owns one clock; entities read :attr:`now` and never write
+    it.  Attempting to move time backwards raises
+    :class:`~repro.errors.SimulationError` — that always indicates a
+    scheduling bug, never a legal model state.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start at negative time {start}")
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return cycles_to_seconds(self._now)
+
+    def advance_to(self, when: int) -> None:
+        """Move the clock forward to ``when`` cycles.
+
+        ``when`` may equal :attr:`now` (many events share a timestamp)
+        but may never precede it.
+        """
+        if when < self._now:
+            raise SimulationError(f"clock moved backwards: {self._now} -> {when}")
+        self._now = when
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self._now})"

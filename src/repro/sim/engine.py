@@ -1,0 +1,109 @@
+"""The discrete-event engine driving one simulated EM-X machine.
+
+The engine owns the clock and the event queue.  Model components
+schedule callbacks (`schedule`/`schedule_at`); :meth:`Engine.run` pops
+events in time order until the queue drains or a cycle limit is hit.
+
+A *quiescence watcher* may be installed: when the queue drains, the
+engine asks it whether the model is genuinely finished; if the watcher
+reports live-but-stuck work (suspended threads with no pending wake-up)
+the engine raises :class:`~repro.errors.DeadlockError` instead of
+silently returning — a lost packet or an unreleasable barrier should
+fail loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import DeadlockError, SimulationError
+from .clock import Clock
+from .queue import EventQueue
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Event loop: a clock plus a stable event queue."""
+
+    def __init__(self, max_cycles: int = 4_000_000_000) -> None:
+        if max_cycles < 1:
+            raise SimulationError(f"max_cycles must be positive, got {max_cycles}")
+        self.clock = Clock()
+        self.queue = EventQueue()
+        self.max_cycles = max_cycles
+        self.events_fired = 0
+        #: Optional callable returning a description of stuck work, or
+        #: ``None``/empty string when the model is legitimately done.
+        self.quiescence_watcher: Callable[[], str | None] | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduling API
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated cycle."""
+        return self.clock.now
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> int:
+        """Fire ``fn(*args)`` ``delay`` cycles from now; returns a handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.queue.push(self.clock.now + delay, fn, *args)
+
+    def schedule_at(self, when: int, fn: Callable[..., None], *args: Any) -> int:
+        """Fire ``fn(*args)`` at absolute cycle ``when``; returns a handle."""
+        if when < self.clock.now:
+            raise SimulationError(f"cannot schedule in the past: now={self.clock.now}, when={when}")
+        return self.queue.push(when, fn, *args)
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a scheduled event by handle (no-op if already fired)."""
+        self.queue.cancel(handle)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, until: int | None = None) -> int:
+        """Process events until quiescence, ``until``, or ``max_cycles``.
+
+        Returns the clock value when the loop stops.  Raises
+        :class:`DeadlockError` if the queue drains while the quiescence
+        watcher reports stuck work, and :class:`SimulationError` if the
+        cycle limit is exceeded (runaway guest program).
+        """
+        limit = self.max_cycles if until is None else min(until, self.max_cycles)
+        while self.queue:
+            when = self.queue.peek_time()
+            assert when is not None  # queue is non-empty
+            if when > limit:
+                if until is not None and when <= self.max_cycles:
+                    # Paused by the caller's horizon, not a failure.
+                    self.clock.advance_to(until)
+                    return self.clock.now
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={self.max_cycles} "
+                    f"(next event at {when}); runaway guest program?"
+                )
+            ev = self.queue.pop()
+            self.clock.advance_to(ev.time)
+            self.events_fired += 1
+            ev.fn(*ev.args)
+        if self.quiescence_watcher is not None:
+            stuck = self.quiescence_watcher()
+            if stuck:
+                raise DeadlockError(f"event queue drained with live work: {stuck}")
+        return self.clock.now
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns False when the queue is empty."""
+        if not self.queue:
+            return False
+        ev = self.queue.pop()
+        self.clock.advance_to(ev.time)
+        self.events_fired += 1
+        ev.fn(*ev.args)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine(now={self.clock.now}, pending={len(self.queue)}, fired={self.events_fired})"

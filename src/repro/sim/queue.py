@@ -1,0 +1,91 @@
+"""A stable priority queue of scheduled events.
+
+Events firing at the same cycle run in scheduling order (FIFO within a
+timestamp).  Stability matters: the EM-X model leans on deterministic
+ordering — e.g. the hardware FIFO thread queue and the network's
+non-overtaking rule — so ties must never be broken arbitrarily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, NamedTuple
+
+from ..errors import SimulationError
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+class ScheduledEvent(NamedTuple):
+    """One queue entry: fire ``fn(*args)`` at cycle ``time``.
+
+    ``seq`` is a monotonically increasing tie-breaker assigned by the
+    queue; callers never set it.
+    """
+
+    time: int
+    seq: int
+    fn: Callable[..., None]
+    args: tuple[Any, ...]
+
+
+class EventQueue:
+    """Binary-heap event queue with stable same-time ordering."""
+
+    __slots__ = ("_heap", "_seq", "_pending", "_cancelled")
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._seq = 0
+        self._pending: set[int] = set()
+        self._cancelled: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def push(self, time: int, fn: Callable[..., None], *args: Any) -> int:
+        """Schedule ``fn(*args)`` at ``time``; returns a cancellation handle."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule event at negative time {time}")
+        seq = self._seq
+        self._seq += 1
+        heapq.heappush(self._heap, ScheduledEvent(time, seq, fn, args))
+        self._pending.add(seq)
+        return seq
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously pushed event.
+
+        Cancellation is lazy: the entry stays in the heap and is dropped
+        when popped.  Cancelling an already-fired or unknown handle is a
+        silent no-op (the caller cannot always know whether it raced the
+        firing).
+        """
+        if handle in self._pending:
+            self._pending.discard(handle)
+            self._cancelled.add(handle)
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.seq in self._cancelled:
+                self._cancelled.discard(ev.seq)
+                continue
+            self._pending.discard(ev.seq)
+            return ev
+        raise SimulationError("pop() on an empty event queue")
+
+    def peek_time(self) -> int | None:
+        """Time of the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            ev = self._heap[0]
+            if ev.seq in self._cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled.discard(ev.seq)
+                continue
+            return ev.time
+        return None

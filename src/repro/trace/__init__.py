@@ -1,0 +1,12 @@
+"""Execution tracing: burst-level timelines per processor.
+
+Enable with ``MachineConfig(trace=True)``; every EXU burst, spin check,
+DMA service and idle gap is recorded as a :class:`TraceEvent`, and
+:func:`render_timeline` draws an ASCII Gantt of the machine — the
+fastest way to *see* overlap working (or failing), e.g. the paper's
+Fig. 4 timeline can be reproduced for any program.
+"""
+
+from .timeline import TraceEvent, render_timeline, utilization
+
+__all__ = ["TraceEvent", "render_timeline", "utilization"]

@@ -1,0 +1,95 @@
+"""Trace events and ASCII timeline rendering.
+
+A trace is a per-processor list of ``(start, end, kind, label)`` spans.
+Kinds map to single characters in the rendering:
+
+====== =========================================
+``#``  thread burst (running guest code)
+``s``  synchronisation spin check
+``d``  EM-4-mode read service on the EXU
+``.``  idle — unmasked communication
+(gap)  idle with no live threads
+====== =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+
+__all__ = ["TraceEvent", "render_timeline", "utilization"]
+
+_GLYPHS = {"burst": "#", "spin": "s", "service": "d", "idle": "."}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One span of EXU activity on one processor."""
+
+    start: int
+    end: int
+    kind: str  # "burst" | "spin" | "service" | "idle"
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(f"trace span ends before it starts: {self}")
+        if self.kind not in _GLYPHS:
+            raise SimulationError(f"unknown trace kind {self.kind!r}")
+
+
+def utilization(events: list[TraceEvent]) -> float:
+    """Fraction of the traced window spent in bursts (useful work)."""
+    if not events:
+        return 0.0
+    span = max(e.end for e in events) - min(e.start for e in events)
+    if span == 0:
+        return 0.0
+    busy = sum(e.end - e.start for e in events if e.kind == "burst")
+    return busy / span
+
+
+def render_timeline(
+    traces: dict[int, list[TraceEvent]],
+    width: int = 80,
+    start: int | None = None,
+    end: int | None = None,
+) -> str:
+    """Draw one character-per-bucket timeline row per processor.
+
+    Each output column covers ``(end-start)/width`` cycles; the glyph of
+    the dominant activity within the column wins.  Returns a multi-line
+    string; processors render in id order.
+    """
+    if width < 8:
+        raise SimulationError(f"timeline width must be >= 8, got {width}")
+    all_events = [e for evs in traces.values() for e in evs]
+    if not all_events:
+        return "(no trace events)"
+    lo = min(e.start for e in all_events) if start is None else start
+    hi = max(e.end for e in all_events) if end is None else end
+    if hi <= lo:
+        raise SimulationError(f"empty timeline window [{lo}, {hi}]")
+    scale = (hi - lo) / width
+
+    lines = [f"cycles {lo}..{hi}  ({scale:.1f} cyc/col)"]
+    for pe in sorted(traces):
+        cols = [dict.fromkeys(_GLYPHS, 0) for _ in range(width)]
+        for ev in traces[pe]:
+            if ev.end <= lo or ev.start >= hi:
+                continue
+            c0 = int((max(ev.start, lo) - lo) / scale)
+            c1 = int((min(ev.end, hi) - 1 - lo) / scale)
+            for c in range(max(c0, 0), min(c1, width - 1) + 1):
+                cols[c][ev.kind] += 1
+        row = []
+        for col in cols:
+            if not any(col.values()):
+                row.append(" ")
+            else:
+                kind = max(col, key=col.__getitem__)
+                row.append(_GLYPHS[kind])
+        lines.append(f"PE{pe:>3} |{''.join(row)}|")
+    lines.append("legend: # burst   s spin   d read-service   . idle(comm)")
+    return "\n".join(lines)

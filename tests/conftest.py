@@ -1,0 +1,25 @@
+"""Shared fixtures for the EM-X reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EMX, MachineConfig
+
+
+@pytest.fixture
+def machine4() -> EMX:
+    """A 4-processor machine with small memory, detailed network."""
+    return EMX(MachineConfig(n_pes=4, memory_words=1 << 16))
+
+
+@pytest.fixture
+def machine16() -> EMX:
+    """A 16-processor machine (one of the paper's platforms)."""
+    return EMX(MachineConfig(n_pes=16, memory_words=1 << 16))
+
+
+@pytest.fixture(autouse=True)
+def _tiny_scale(monkeypatch):
+    """Default every test to the tiny experiment scale."""
+    monkeypatch.setenv("REPRO_SCALE", "tiny")

@@ -1,0 +1,96 @@
+"""Omega fabric load model: unit behaviour + simulator cross-validation."""
+
+import pytest
+
+from repro.analysis import OmegaLoadModel
+from repro.config import MachineConfig, TimingModel
+from repro.errors import ConfigError
+from repro.network import CircularOmegaTopology, DetailedOmegaNetwork
+from repro.packet import Packet, PacketKind
+from repro.sim import Engine
+
+
+def test_unloaded_matches_cut_through():
+    m = OmegaLoadModel(n_pes=64)
+    assert m.one_way_latency(0.0) == pytest.approx(m.mean_hops + 1, abs=1e-9)
+
+
+def test_latency_monotone_in_load():
+    m = OmegaLoadModel(n_pes=64)
+    loads = [0.0, 0.01, 0.02, 0.04, 0.08]
+    lats = [m.one_way_latency(x) for x in loads]
+    assert all(b > a for a, b in zip(lats, lats[1:]))
+
+
+def test_md1_wait_shape():
+    assert OmegaLoadModel.md1_wait(0.0, 2) == 0.0
+    assert OmegaLoadModel.md1_wait(0.5, 2) == pytest.approx(1.0)
+    assert OmegaLoadModel.md1_wait(0.9, 2) > 5.0
+    with pytest.raises(ConfigError):
+        OmegaLoadModel.md1_wait(1.0, 2)
+
+
+def test_saturation_load_saturates():
+    m = OmegaLoadModel(n_pes=64)
+    sat = m.saturation_load()
+    assert m.hot_port_utilization(sat) == pytest.approx(0.999, abs=0.01)
+    assert m.hot_port_utilization(sat / 2) == pytest.approx(0.5, rel=0.05)
+
+
+def test_rtt_includes_dma():
+    m = OmegaLoadModel(n_pes=16, dma_service=5)
+    assert m.read_rtt(0.0) == pytest.approx(2 * m.one_way_latency(0.0) + 5)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        OmegaLoadModel(n_pes=0)
+    with pytest.raises(ConfigError):
+        OmegaLoadModel(n_pes=4, hotspot_factor=0.5)
+    with pytest.raises(ConfigError):
+        OmegaLoadModel(n_pes=4).mean_port_utilization(-1)
+
+
+def _measure_sim_latency(n_pes: int, spacing: int, packets_per_pe: int = 40) -> float:
+    """Drive uniform random traffic through the detailed network and
+    return the measured mean latency."""
+    import random
+
+    rng = random.Random(7)
+    engine = Engine()
+    net = DetailedOmegaNetwork(engine, CircularOmegaTopology(n_pes), TimingModel())
+    for pe in range(n_pes):
+        net.attach(pe, lambda p: None)
+    for k in range(packets_per_pe):
+        for src in range(n_pes):
+            dst = rng.randrange(n_pes)
+            engine.schedule(
+                k * spacing + (src % spacing),
+                net.send,
+                Packet(kind=PacketKind.WRITE, src=src, dst=dst, data=0),
+            )
+    engine.run()
+    return net.stats.mean_latency
+
+
+def test_cross_validation_against_detailed_sim():
+    """A7: the model tracks the simulator within a factor of two across
+    light-to-moderate loads, and both grow with load."""
+    n_pes = 16
+    model = OmegaLoadModel(
+        n_pes=n_pes,
+        hotspot_factor=2.0,
+        eject_cycles=TimingModel().eject,
+    )
+    measured = []
+    predicted = []
+    for spacing in (64, 16, 8):
+        rate = 1.0 / spacing
+        measured.append(_measure_sim_latency(n_pes, spacing))
+        predicted.append(model.one_way_latency(min(rate, model.saturation_load() * 0.9)))
+    # Both rise with offered load.
+    assert measured[0] < measured[-1]
+    assert predicted[0] < predicted[-1]
+    # Agreement within 2x at every point.
+    for got, want in zip(measured, predicted):
+        assert 0.5 < got / want < 2.0, (measured, predicted)

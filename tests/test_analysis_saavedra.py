@@ -1,0 +1,91 @@
+"""Saavedra-Barrera analytic model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import Region, SaavedraModel
+from repro.errors import ConfigError
+
+
+def test_saturation_efficiency():
+    m = SaavedraModel(run_length=12, latency=30, switch_cost=7)
+    assert m.saturation_efficiency == pytest.approx(12 / 19)
+
+
+def test_linear_region_grows_linearly():
+    m = SaavedraModel(run_length=12, latency=100, switch_cost=7)
+    assert m.efficiency(2) == pytest.approx(2 * m.efficiency(1))
+
+
+def test_efficiency_caps_at_saturation():
+    m = SaavedraModel(run_length=12, latency=30, switch_cost=7)
+    assert m.efficiency(100) == m.saturation_efficiency
+
+
+def test_paper_arithmetic_two_to_four_threads():
+    """Run length 12, latency 20-40 cycles -> 2..4 threads saturate,
+    exactly the paper's 'two to four threads' claim."""
+    for latency in (20, 30, 40):
+        m = SaavedraModel.for_sorting(latency=latency)
+        assert 2 <= m.saturation_threads <= 4
+
+
+def test_fft_saturates_with_two_threads():
+    m = SaavedraModel.for_fft(latency=40)
+    assert m.saturation_threads < 2.1
+    assert m.efficiency(2) == m.saturation_efficiency
+
+
+def test_regions_classification():
+    m = SaavedraModel(run_length=12, latency=100, switch_cost=7)
+    n_d = m.saturation_threads
+    assert m.region(1) is Region.LINEAR
+    assert m.region(int(n_d + 0.5)) in (Region.TRANSITION, Region.SATURATION)
+    assert m.region(int(n_d) + 5) is Region.SATURATION
+
+
+def test_unmasked_latency_decreases_then_zero():
+    m = SaavedraModel(run_length=12, latency=40, switch_cost=7)
+    vals = [m.unmasked_latency(n) for n in range(1, 6)]
+    assert vals[0] == 40
+    assert all(a >= b for a, b in zip(vals, vals[1:]))
+    assert vals[-1] == 0.0
+
+
+def test_overlap_efficiency_prediction():
+    m = SaavedraModel(run_length=12, latency=38, switch_cost=7)
+    assert m.overlap_efficiency(1) == 0.0
+    assert m.overlap_efficiency(2) == pytest.approx(0.5)
+    assert m.overlap_efficiency(3) == pytest.approx(1.0)
+
+
+def test_zero_latency_comm_fraction():
+    m = SaavedraModel(run_length=12, latency=0, switch_cost=7)
+    assert m.comm_time_fraction(2) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        SaavedraModel(run_length=0, latency=1, switch_cost=1)
+    with pytest.raises(ConfigError):
+        SaavedraModel(run_length=1, latency=-1, switch_cost=1)
+    m = SaavedraModel(run_length=1, latency=1, switch_cost=0)
+    with pytest.raises(ConfigError):
+        m.efficiency(0)
+    with pytest.raises(ConfigError):
+        m.unmasked_latency(-1)
+
+
+@given(
+    st.integers(1, 500),
+    st.integers(0, 500),
+    st.integers(0, 100),
+    st.integers(1, 64),
+)
+def test_efficiency_monotone_and_bounded(r, l, c, n):
+    m = SaavedraModel(run_length=r, latency=l, switch_cost=c)
+    e_n = m.efficiency(n)
+    assert 0 < e_n <= 1.0
+    assert m.efficiency(n + 1) >= e_n
+    assert 0.0 <= m.comm_time_fraction(n) <= 1.0

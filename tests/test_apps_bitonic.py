@@ -1,0 +1,118 @@
+"""Simulated multithreaded bitonic sort: correctness and mechanics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig, SwitchKind
+from repro.apps import run_bitonic
+from repro.errors import ProgramError
+
+
+def test_sorts_small_machine():
+    r = run_bitonic(n_pes=4, n=32, h=2)
+    assert r.sorted_ok
+    assert r.output == sorted(r.output)
+
+
+def test_single_thread_baseline():
+    r = run_bitonic(n_pes=4, n=32, h=1)
+    assert r.sorted_ok
+    assert r.report.switches(SwitchKind.THREAD_SYNC) == 0  # nothing to wait for
+
+
+def test_sorts_with_many_threads():
+    r = run_bitonic(n_pes=4, n=64, h=8)
+    assert r.sorted_ok
+    assert r.report.switches(SwitchKind.THREAD_SYNC) > 0
+
+
+def test_non_dividing_thread_count():
+    r = run_bitonic(n_pes=4, n=32, h=3)
+    assert r.sorted_ok
+
+
+def test_duplicate_values_sort():
+    data = [5] * 16 + [1] * 8 + [9] * 8
+    r = run_bitonic(n_pes=4, n=32, h=2, data=data)
+    assert r.sorted_ok
+
+
+def test_already_sorted_and_reversed_inputs():
+    up = list(range(32))
+    down = list(range(32))[::-1]
+    assert run_bitonic(n_pes=4, n=32, h=2, data=up).sorted_ok
+    assert run_bitonic(n_pes=4, n=32, h=2, data=down).sorted_ok
+
+
+def test_negative_values():
+    data = [(-1) ** i * i for i in range(32)]
+    assert run_bitonic(n_pes=4, n=32, h=4, data=data).sorted_ok
+
+
+def test_two_processors():
+    assert run_bitonic(n_pes=2, n=16, h=2).sorted_ok
+
+
+def test_remote_read_switch_count_is_derivable():
+    """Reads per PE = schedule length x n/P unless early termination
+    saves some; the switch count can never exceed the bound."""
+    r = run_bitonic(n_pes=4, n=64, h=2)
+    schedule_len = 3  # log2(4) * (log2(4)+1) / 2
+    bound = schedule_len * 16
+    per_pe = r.report.switches(SwitchKind.REMOTE_READ)
+    assert 0 < per_pe <= bound
+    assert r.reads_possible == schedule_len * 64
+
+
+def test_iter_sync_switches_grow_with_threads():
+    low = run_bitonic(n_pes=4, n=64, h=1).report.switches(SwitchKind.ITER_SYNC)
+    high = run_bitonic(n_pes=4, n=64, h=8).report.switches(SwitchKind.ITER_SYNC)
+    assert high > low
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(ProgramError):
+        run_bitonic(n_pes=3, n=30, h=1)  # P not a power of two
+    with pytest.raises(ProgramError):
+        run_bitonic(n_pes=4, n=30, h=1)  # n not divisible
+    with pytest.raises(ProgramError):
+        run_bitonic(n_pes=4, n=48, h=1)  # n/P not a power of two
+    with pytest.raises(ProgramError):
+        run_bitonic(n_pes=4, n=32, h=9)  # h > n/P
+    with pytest.raises(ProgramError):
+        run_bitonic(n_pes=4, n=32, h=1, data=[1, 2, 3])  # wrong length
+
+
+def test_em4_mode_still_sorts_but_slower():
+    fast = run_bitonic(n_pes=4, n=64, h=2)
+    slow = run_bitonic(
+        n_pes=4, n=64, h=2, config=MachineConfig(n_pes=4, em4_mode=True)
+    )
+    assert slow.sorted_ok
+    assert slow.report.runtime_cycles > fast.report.runtime_cycles
+
+
+def test_analytic_network_model_sorts():
+    r = run_bitonic(
+        n_pes=4, n=64, h=2, config=MachineConfig(n_pes=4, network_model="analytic")
+    )
+    assert r.sorted_ok
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.sampled_from([(2, 8), (4, 8), (8, 4)]),
+    st.sampled_from([1, 2, 4]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_always_sorted(shape, h, seed):
+    """Any (P, n/P, h, data) combination produces a sorted permutation."""
+    n_pes, npp = shape
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    data = [int(x) for x in rng.integers(-1000, 1000, size=n_pes * npp)]
+    r = run_bitonic(n_pes=n_pes, n=n_pes * npp, h=h, data=data)
+    assert r.sorted_ok
+    assert sorted(data) == r.output

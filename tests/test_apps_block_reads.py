@@ -1,0 +1,51 @@
+"""Block-read sorting variant (extension A5: EMC-Y block transfers)."""
+
+import pytest
+
+from repro import SwitchKind
+from repro.apps import run_bitonic
+
+
+def test_block_reads_sort_correctly():
+    element = run_bitonic(n_pes=4, n=64, h=2, seed=3)
+    block = run_bitonic(n_pes=4, n=64, h=2, seed=3, block_reads=True)
+    assert block.sorted_ok
+    assert block.output == element.output
+
+
+def test_block_reads_cut_switches():
+    """One suspension per chunk instead of per element."""
+    element = run_bitonic(n_pes=4, n=64, h=2, seed=3)
+    block = run_bitonic(n_pes=4, n=64, h=2, seed=3, block_reads=True)
+    per_el = element.report.switches(SwitchKind.REMOTE_READ)
+    per_blk = block.report.switches(SwitchKind.REMOTE_READ)
+    assert per_blk < per_el / 4
+
+
+def test_block_reads_faster():
+    element = run_bitonic(n_pes=8, n=8 * 64, h=2, seed=1)
+    block = run_bitonic(n_pes=8, n=8 * 64, h=2, seed=1, block_reads=True)
+    assert block.report.runtime_cycles < element.report.runtime_cycles
+
+
+def test_block_reads_account_words():
+    block = run_bitonic(n_pes=4, n=64, h=2, block_reads=True)
+    # All mate words still transferred (no early-termination savings on
+    # this input): reads_possible = schedule x n.
+    assert block.reads_issued == block.reads_possible
+
+
+def test_block_reads_many_threads():
+    assert run_bitonic(n_pes=4, n=64, h=8, block_reads=True).sorted_ok
+
+
+def test_block_reads_single_thread():
+    assert run_bitonic(n_pes=4, n=32, h=1, block_reads=True).sorted_ok
+
+
+@pytest.mark.parametrize("h", [1, 2, 4])
+def test_block_vs_element_same_result(h):
+    for seed in (0, 7):
+        a = run_bitonic(n_pes=4, n=32, h=h, seed=seed)
+        b = run_bitonic(n_pes=4, n=32, h=h, seed=seed, block_reads=True)
+        assert a.output == b.output

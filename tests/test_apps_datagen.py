@@ -1,0 +1,102 @@
+"""Workload generators: distributions, determinism, validation."""
+
+import numpy as np
+import pytest
+
+from repro.apps import datagen, run_bitonic, run_fft
+from repro.errors import ProgramError
+
+
+def test_uniform_ints_deterministic():
+    assert datagen.uniform_ints(32, seed=5) == datagen.uniform_ints(32, seed=5)
+    assert datagen.uniform_ints(32, seed=5) != datagen.uniform_ints(32, seed=6)
+
+
+def test_uniform_ints_range():
+    vals = datagen.uniform_ints(100, lo=10, hi=20)
+    assert all(10 <= v < 20 for v in vals)
+
+
+def test_gaussian_ints_centered():
+    vals = datagen.gaussian_ints(2000, sigma=100.0)
+    assert abs(float(np.mean(vals))) < 20.0
+
+
+def test_nearly_sorted_mostly_ascending():
+    vals = datagen.nearly_sorted(200, swap_fraction=0.02)
+    inversions = sum(1 for a, b in zip(vals, vals[1:]) if a > b)
+    assert inversions < 20
+    assert sorted(vals) == list(range(200))
+
+
+def test_reversed_blocks_structure():
+    vals = datagen.reversed_blocks(8, 2)
+    assert vals == [7, 6, 5, 4, 3, 2, 1, 0]
+    assert sorted(datagen.reversed_blocks(64, 4)) == list(range(64))
+
+
+def test_zipf_has_duplicates():
+    vals = datagen.zipf_ints(500, a=2.0)
+    assert len(set(vals)) < len(vals)
+    assert min(vals) >= 1
+
+
+def test_tone_points_dft_is_spike():
+    n, k = 32, 5
+    tone = datagen.tone_points(n, k=k)
+    spectrum = np.abs(np.fft.fft(np.array(tone)))
+    assert spectrum.argmax() == k
+    others = np.delete(spectrum, k)
+    assert spectrum[k] > 100 * others.max()
+
+
+def test_white_noise_and_chirp_shapes():
+    assert len(datagen.white_noise_points(16)) == 16
+    chirp = datagen.chirp_points(16)
+    assert all(abs(z) < 2.0 for z in chirp)
+
+
+def test_validation():
+    with pytest.raises(ProgramError):
+        datagen.uniform_ints(0)
+    with pytest.raises(ProgramError):
+        datagen.gaussian_ints(0)
+    with pytest.raises(ProgramError):
+        datagen.nearly_sorted(8, swap_fraction=2.0)
+    with pytest.raises(ProgramError):
+        datagen.reversed_blocks(10, 3)
+    with pytest.raises(ProgramError):
+        datagen.zipf_ints(8, a=1.0)
+    with pytest.raises(ProgramError):
+        datagen.tone_points(8, k=8)
+
+
+@pytest.mark.parametrize(
+    "gen",
+    [
+        lambda: datagen.uniform_ints(32, seed=1),
+        lambda: datagen.gaussian_ints(32, seed=1),
+        lambda: datagen.nearly_sorted(32),
+        lambda: datagen.reversed_blocks(32, 4),
+        lambda: datagen.zipf_ints(32),
+    ],
+)
+def test_every_distribution_sorts_correctly(gen):
+    data = gen()
+    result = run_bitonic(n_pes=4, n=32, h=2, data=data)
+    assert result.sorted_ok
+
+
+def test_nearly_sorted_saves_reads():
+    """Structured input should let early termination skip more mate
+    reads than uniform input does."""
+    structured = run_bitonic(n_pes=8, n=8 * 32, h=4, data=datagen.nearly_sorted(256))
+    uniform = run_bitonic(n_pes=8, n=8 * 32, h=4, data=datagen.uniform_ints(256))
+    assert structured.sorted_ok and uniform.sorted_ok
+    assert structured.reads_saved_fraction >= uniform.reads_saved_fraction
+
+
+def test_fft_on_tone():
+    result = run_fft(n_pes=4, n=32, h=2, data=datagen.tone_points(32, k=3),
+                     comm_stages_only=False)
+    assert result.verified

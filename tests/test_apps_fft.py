@@ -1,0 +1,98 @@
+"""Simulated multithreaded FFT: numerical correctness and mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MachineConfig, SwitchKind
+from repro.apps import run_fft
+from repro.errors import ProgramError
+
+
+def test_comm_stages_match_reference():
+    r = run_fft(n_pes=4, n=32, h=2)
+    assert r.verified
+    assert r.max_error < 1e-9
+
+
+def test_full_fft_matches_numpy():
+    r = run_fft(n_pes=4, n=64, h=2, comm_stages_only=False)
+    assert r.verified
+    assert r.max_error < 1e-9
+
+
+def test_full_fft_impulse():
+    """FFT of a unit impulse is all ones."""
+    data = [0j] * 32
+    data[0] = 1 + 0j
+    r = run_fft(n_pes=4, n=32, h=1, data=data, comm_stages_only=False)
+    assert r.verified
+    from repro.apps.reference import bit_reverse_permute
+
+    nat = bit_reverse_permute(r.output)
+    assert np.allclose(nat, np.ones(32))
+
+
+def test_single_thread_baseline():
+    r = run_fft(n_pes=4, n=32, h=1)
+    assert r.verified
+
+
+def test_many_threads():
+    r = run_fft(n_pes=4, n=64, h=16)
+    assert r.verified
+
+
+def test_non_dividing_thread_count():
+    assert run_fft(n_pes=4, n=32, h=3).verified
+
+
+def test_no_thread_sync_switches():
+    """FFT requires no thread synchronisation (the paper's key contrast)."""
+    r = run_fft(n_pes=4, n=64, h=4)
+    assert r.report.switches(SwitchKind.THREAD_SYNC) == 0
+
+
+def test_reads_are_paired():
+    """Two reads per point, one suspension per pair via direct matching."""
+    r = run_fft(n_pes=4, n=32, h=2)
+    npp, stages = 8, 2
+    per_pe_reads = sum(c.reads_issued for c in r.report.counters) / 4
+    assert per_pe_reads == 2 * npp * stages
+    per_pe_suspends = r.report.switches(SwitchKind.REMOTE_READ)
+    assert per_pe_suspends == npp * stages
+
+
+def test_em4_mode_verifies_but_slower():
+    fast = run_fft(n_pes=4, n=32, h=2)
+    slow = run_fft(n_pes=4, n=32, h=2, config=MachineConfig(n_pes=4, em4_mode=True))
+    assert slow.verified
+    assert slow.report.runtime_cycles > fast.report.runtime_cycles
+
+
+def test_validation_rejects_bad_shapes():
+    with pytest.raises(ProgramError):
+        run_fft(n_pes=1, n=8, h=1)  # needs >= 2 PEs to communicate
+    with pytest.raises(ProgramError):
+        run_fft(n_pes=3, n=24, h=1)
+    with pytest.raises(ProgramError):
+        run_fft(n_pes=4, n=24, h=1)  # n/P = 6 not a power of two
+    with pytest.raises(ProgramError):
+        run_fft(n_pes=4, n=32, h=100)
+    with pytest.raises(ProgramError):
+        run_fft(n_pes=4, n=32, h=1, data=[1j, 2j])
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    st.sampled_from([(2, 8), (4, 8), (8, 4)]),
+    st.sampled_from([1, 2, 4]),
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.booleans(),
+)
+def test_property_matches_reference(shape, h, seed, full):
+    """Simulated FFT == host reference for random inputs and shapes."""
+    n_pes, npp = shape
+    r = run_fft(n_pes=n_pes, n=n_pes * npp, h=h, seed=seed, comm_stages_only=not full)
+    assert r.verified, f"max_error={r.max_error}"

@@ -1,0 +1,124 @@
+"""Host-side reference algorithms: schedules, DIF FFT, partitions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.reference import (
+    bit_reverse_permute,
+    compare_split_direction,
+    dif_fft_stages,
+    ilog2,
+    is_power_of_two,
+    partition_bounds,
+    reference_bitonic_schedule,
+)
+from repro.errors import ProgramError
+
+
+def test_power_of_two_predicate():
+    assert all(is_power_of_two(1 << k) for k in range(12))
+    assert not any(is_power_of_two(x) for x in (0, 3, 6, 12, -4))
+
+
+def test_ilog2():
+    assert ilog2(1) == 0
+    assert ilog2(64) == 6
+    with pytest.raises(ProgramError):
+        ilog2(12)
+
+
+def test_bitonic_schedule_shape():
+    sched = reference_bitonic_schedule(8)
+    assert sched == [(0, 0), (1, 1), (1, 0), (2, 2), (2, 1), (2, 0)]
+    assert len(reference_bitonic_schedule(64)) == 6 * 7 // 2
+
+
+def test_compare_split_pairs_are_symmetric():
+    """Mates agree on who keeps which half at every schedule point."""
+    for P in (2, 4, 8, 16):
+        for (i, j) in reference_bitonic_schedule(P):
+            for pe in range(P):
+                mate, keep_low = compare_split_direction(pe, i, j)
+                back, mate_keep_low = compare_split_direction(mate, i, j)
+                assert back == pe
+                assert keep_low != mate_keep_low
+
+
+def test_compare_split_host_simulation_sorts():
+    """Running the schedule on the host sorts any distributed input."""
+    rng = np.random.default_rng(0)
+    for P, npp in ((4, 8), (8, 4), (16, 2)):
+        lists = [sorted(rng.integers(0, 1000, npp).tolist()) for _ in range(P)]
+        for (i, j) in reference_bitonic_schedule(P):
+            new = [None] * P
+            for pe in range(P):
+                mate, keep_low = compare_split_direction(pe, i, j)
+                merged = sorted(lists[pe] + lists[mate])
+                new[pe] = merged[:npp] if keep_low else merged[npp:]
+            lists = new
+        flat = [x for lst in lists for x in lst]
+        assert flat == sorted(flat)
+
+
+def test_dif_full_transform_matches_numpy():
+    rng = np.random.default_rng(1)
+    for n in (2, 8, 64):
+        x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).tolist()
+        ours = bit_reverse_permute(dif_fft_stages(x, ilog2(n)))
+        ref = np.fft.fft(np.array(x))
+        assert np.allclose(ours, ref)
+
+
+def test_dif_zero_stages_is_identity():
+    x = [1 + 2j, 3 - 1j]
+    assert dif_fft_stages(x, 0) == x
+
+
+def test_dif_stage_count_validated():
+    with pytest.raises(ProgramError):
+        dif_fft_stages([1j] * 8, 4)
+
+
+def test_bit_reverse_permute_small():
+    assert bit_reverse_permute([0, 1, 2, 3]) == [0, 2, 1, 3]
+    assert bit_reverse_permute([0, 1, 2, 3, 4, 5, 6, 7]) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+
+def test_bit_reverse_is_involution():
+    x = list(range(16))
+    assert bit_reverse_permute(bit_reverse_permute(x)) == x
+
+
+def test_partition_bounds_balanced():
+    bounds = [partition_bounds(10, 3, i) for i in range(3)]
+    assert bounds == [(0, 3), (3, 6), (6, 10)]
+
+
+def test_partition_bounds_validation():
+    with pytest.raises(ProgramError):
+        partition_bounds(10, 0, 0)
+    with pytest.raises(ProgramError):
+        partition_bounds(10, 3, 3)
+
+
+@given(st.integers(1, 500), st.integers(1, 32))
+def test_partition_covers_everything_once(total, parts):
+    covered = []
+    for i in range(parts):
+        lo, hi = partition_bounds(total, parts, i)
+        covered.extend(range(lo, hi))
+        assert hi - lo in (total // parts, total // parts + 1)
+    assert covered == list(range(total))
+
+
+@given(st.integers(1, 5).map(lambda k: 1 << k), st.data())
+def test_dif_partial_stages_respect_block_locality(logn_pow, data):
+    """After s stages, butterflies with span < n/2^s touch disjoint
+    halves — i.e. the first log P stages are exactly the non-local ones."""
+    n = logn_pow
+    x = [complex(i, -i) for i in range(n)]
+    s = data.draw(st.integers(0, ilog2(n)))
+    out = dif_fft_stages(x, s)
+    assert len(out) == n

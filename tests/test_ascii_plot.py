@@ -1,0 +1,49 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics import plot_curves
+
+
+CURVES = {"a": {1: 1.0, 2: 0.1, 16: 0.5}, "b": {1: 2.0, 4: 0.05, 16: 0.9}}
+
+
+def test_plot_has_frame_and_legend():
+    out = plot_curves(CURVES, title="T", ylabel="s")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert lines[1].endswith("|")
+    assert "o=a" in lines[-1] and "x=b" in lines[-1]
+    assert "[s]" in lines[-1]
+
+
+def test_plot_places_extremes():
+    out = plot_curves({"a": {1: 1.0, 16: 100.0}}, height=8)
+    rows = [l for l in out.splitlines() if l.endswith("|")]
+    assert "o" in rows[0]        # max in the top row
+    assert "o" in rows[-1]       # min in the bottom row
+
+
+def test_plot_linear_scale_allows_nonpositive():
+    out = plot_curves({"a": {1: -1.0, 2: 0.0, 3: 1.0}}, logy=False)
+    assert "o" in out
+
+
+def test_plot_log_rejects_nonpositive():
+    with pytest.raises(SimulationError, match="positive"):
+        plot_curves({"a": {1: 0.0, 2: 1.0}})
+
+
+def test_plot_validation():
+    with pytest.raises(SimulationError):
+        plot_curves(CURVES, width=4)
+    many = {str(i): {1: 1.0, 2: 2.0} for i in range(9)}
+    with pytest.raises(SimulationError):
+        plot_curves(many)
+    assert plot_curves({}) == "(no data)"
+
+
+def test_plot_flat_curve():
+    out = plot_curves({"a": {1: 5.0, 2: 5.0}})
+    assert "o" in out

@@ -1,0 +1,78 @@
+"""Command-line interface (`python -m repro ...`)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_sort(capsys):
+    main(["sort", "--pes", "4", "--size", "16", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert "sort: n=64 P=4 h=2 -> OK" in out
+    assert "breakdown:" in out
+    assert "remote_read" in out
+
+
+def test_cli_fft(capsys):
+    main(["fft", "--pes", "4", "--size", "16", "--threads", "2"])
+    out = capsys.readouterr().out
+    assert "fft: n=64 P=4 h=2 -> OK" in out
+
+
+def test_cli_fig6_panel(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    main(["fig6", "a"])
+    out = capsys.readouterr().out
+    assert "Fig 6(a)" in out
+    assert "communication time" in out
+
+
+def test_cli_fig7_panel(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    main(["fig7", "c"])
+    out = capsys.readouterr().out
+    assert "Fig 7(c)" in out and "efficiency" in out
+
+
+def test_cli_fig8_and_fig9(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    main(["fig8", "a"])
+    assert "distribution" in capsys.readouterr().out
+    main(["fig9", "c"])
+    assert "switches per processor" in capsys.readouterr().out
+
+
+def test_cli_micro(capsys):
+    main(["micro"])
+    out = capsys.readouterr().out
+    assert "u1" in out and "u2" in out
+    assert "1.00 cycles/packet" in out
+
+
+def test_cli_rejects_unknown_panel():
+    with pytest.raises(SystemExit):
+        main(["fig6", "z"])
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_json_output(capsys):
+    main(["sort", "--pes", "4", "--size", "16", "--threads", "2", "--json"])
+    import json
+
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["config"]["n_pes"] == 4
+    assert payload["runtime_cycles"] > 0
+
+
+def test_cli_goldens_check(capsys):
+    main(["goldens", "--check", "tests/goldens"])
+    assert "goldens match" in capsys.readouterr().out
+
+
+def test_cli_goldens_requires_mode():
+    with pytest.raises(SystemExit):
+        main(["goldens"])

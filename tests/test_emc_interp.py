@@ -1,0 +1,304 @@
+"""EM-C execution semantics and cycle accounting on the machine."""
+
+import pytest
+
+from repro import EMX, Bucket, MachineConfig, SwitchKind
+from repro.emc import EmcCosts, compile_program, load_emc
+from repro.errors import EmcRuntimeError, EmcSyntaxError
+
+
+def run_source(src, spawns, n_pes=4, env=None, init=None):
+    """Compile, spawn, run; returns the machine."""
+    m = EMX(MachineConfig(n_pes=n_pes, memory_words=1 << 12))
+    env = dict(env or {})
+    if "bar" not in env:
+        env["bar"] = None  # harmless placeholder for programs not using it
+    load_emc(m, src, env=env)
+    if init:
+        init(m)
+    for pe, name, args in spawns:
+        m.spawn(pe, name, *args)
+    m.run()
+    return m
+
+
+def mem(m, pe, off):
+    return m.pes[pe].memory.read(off)
+
+
+# ----------------------------------------------------------------------
+# Arithmetic and control flow
+# ----------------------------------------------------------------------
+def test_arithmetic_semantics():
+    src = """
+    thread f() {
+        mem[0] = 7 + 3 * 2;
+        mem[1] = (7 - 10);
+        mem[2] = 7 / 2;
+        mem[3] = -7 / 2;
+        mem[4] = 7 % 3;
+        mem[5] = 2.5 * 4;
+    }
+    """
+    m = run_source(src, [(0, "f", ())])
+    assert mem(m, 0, 0) == 13
+    assert mem(m, 0, 1) == -3
+    assert mem(m, 0, 2) == 3  # C truncating division
+    assert mem(m, 0, 3) == -3  # trunc toward zero, not floor
+    assert mem(m, 0, 4) == 1
+    assert mem(m, 0, 5) == 10.0
+
+
+def test_comparisons_and_logic():
+    src = """
+    thread f() {
+        mem[0] = 1 < 2;
+        mem[1] = 2 <= 1;
+        mem[2] = 1 == 1 && 2 != 3;
+        mem[3] = 0 || 0;
+        mem[4] = !0;
+        mem[5] = !5;
+    }
+    """
+    m = run_source(src, [(0, "f", ())])
+    assert [mem(m, 0, i) for i in range(6)] == [1, 0, 1, 0, 1, 0]
+
+
+def test_short_circuit_avoids_side_effects():
+    """The right operand of && must not run when the left is false —
+    here it would divide by zero."""
+    src = "thread f() { mem[0] = 0 && (1 / 0); mem[1] = 1 || (1 / 0); }"
+    m = run_source(src, [(0, "f", ())])
+    assert mem(m, 0, 0) == 0
+    assert mem(m, 0, 1) == 1
+
+
+def test_while_and_break_continue():
+    src = """
+    thread f() {
+        var i = 0;
+        var total = 0;
+        while (1) {
+            i = i + 1;
+            if (i % 2 == 0) { continue; }
+            if (i > 9) { break; }
+            total = total + i;
+        }
+        mem[0] = total;
+    }
+    """
+    m = run_source(src, [(0, "f", ())])
+    assert mem(m, 0, 0) == 1 + 3 + 5 + 7 + 9
+
+
+def test_for_loop_and_nested_scopes():
+    src = """
+    thread f(n) {
+        var total = 0;
+        for (var i = 0; i < n; i = i + 1) {
+            for (var j = 0; j <= i; j = j + 1) {
+                total = total + 1;
+            }
+        }
+        mem[0] = total;
+    }
+    """
+    m = run_source(src, [(0, "f", (4,))])
+    assert mem(m, 0, 0) == 1 + 2 + 3 + 4
+
+
+def test_return_exits_thread():
+    src = "thread f() { mem[0] = 1; return; mem[0] = 2; }"
+    m = run_source(src, [(0, "f", ())])
+    assert mem(m, 0, 0) == 1
+
+
+# ----------------------------------------------------------------------
+# Builtins
+# ----------------------------------------------------------------------
+def test_rread_rwrite_cross_pe():
+    src = """
+    thread f(mate) {
+        var v = rread(mate, 0);
+        rwrite(mate, 1, v * 10);
+    }
+    """
+    m = run_source(src, [(0, "f", (1,))], init=lambda m: m.pes[1].memory.write(0, 7))
+    assert mem(m, 1, 1) == 70
+
+
+def test_rread2_matched_pair():
+    src = """
+    thread f(mate) {
+        var pair = rread2(mate, 0, 1);
+        mem[0] = at(pair, 0) + at(pair, 1);
+    }
+    """
+    m = run_source(
+        src, [(0, "f", (1,))], init=lambda m: m.pes[1].memory.write_block(0, [3, 4])
+    )
+    assert mem(m, 0, 0) == 7
+
+
+def test_rblock():
+    src = """
+    thread f(mate, n) {
+        var blk = rblock(mate, 0, n);
+        var total = 0;
+        for (var i = 0; i < len(blk); i = i + 1) { total = total + at(blk, i); }
+        mem[0] = total;
+    }
+    """
+    m = run_source(
+        src, [(0, "f", (2, 4))], init=lambda m: m.pes[2].memory.write_block(0, [1, 2, 3, 4])
+    )
+    assert mem(m, 0, 0) == 10
+
+
+def test_spawn_chain():
+    src = """
+    thread parent(child_pe) {
+        spawn(child_pe, "child", pe());
+    }
+    thread child(from_pe) {
+        mem[0] = 100 + from_pe;
+    }
+    """
+    m = run_source(src, [(1, "parent", (3,))])
+    assert mem(m, 3, 0) == 101
+
+
+def test_pe_and_npes_intrinsics():
+    src = "thread f() { mem[0] = pe(); mem[1] = npes(); }"
+    m = run_source(src, [(2, "f", ())])
+    assert mem(m, 2, 0) == 2
+    assert mem(m, 2, 1) == 4
+
+
+def test_barrier_and_tokens_from_env():
+    from repro.core import OrderToken
+
+    src = """
+    thread w(t) {
+        token_wait(tok, t);
+        mem[10 + t] = mem[9 + t] + 1;
+        token_advance(tok);
+        barrier_wait(bar);
+    }
+    """
+    m = EMX(MachineConfig(n_pes=2, memory_words=1 << 12))
+    bar = m.make_barrier([3, 0])
+    tok = OrderToken()
+    load_emc(m, src, env={"bar": bar, "tok": tok})
+    m.pes[0].memory.write(9, 5)
+    for t in (2, 0, 1):  # spawn out of order; token serialises them
+        m.spawn(0, "w", t)
+    m.run()
+    assert [mem(m, 0, 10 + i) for i in range(3)] == [6, 7, 8]
+
+
+def test_switch_now_and_print():
+    src = """
+    thread f() {
+        print("before");
+        switch_now();
+        print("after", 1 + 1);
+    }
+    """
+    m = run_source(src, [(0, "f", ())])
+    assert m.pes[0].guest_state["emc_output"] == ["before", "after 2"]
+
+
+# ----------------------------------------------------------------------
+# Cycle accounting
+# ----------------------------------------------------------------------
+def test_compute_builtin_charges_exact_cycles():
+    src = "thread f() { compute(123); }"
+    m = run_source(src, [(0, "f", ())])
+    comp = m.pes[0].counters.cycles[Bucket.COMPUTATION]
+    assert comp == 123 + EmcCosts().call_overhead
+
+
+def test_loop_costs_scale_with_iterations():
+    src = "thread f(n) { for (var i = 0; i < n; i = i + 1) { compute(1); } }"
+    m10 = run_source(src, [(0, "f", (10,))])
+    m20 = run_source(src, [(0, "f", (20,))])
+    c10 = m10.pes[0].counters.cycles[Bucket.COMPUTATION]
+    c20 = m20.pes[0].counters.cycles[Bucket.COMPUTATION]
+    per_iter = (c20 - c10) / 10
+    assert per_iter == pytest.approx((c10 - (c20 - c10) * 0) / 10, rel=0.5)
+    # Each iteration: cmp(1)+branch(1)+call_overhead(1)+compute(1)+
+    # assign(1)+add(1)+loop_back(1) = 7 cycles.
+    assert per_iter == 7
+
+
+def test_sorting_loop_body_near_papers_12_clocks():
+    """The paper's read loop (buffer[k] = mem_read(addr++)) compiled
+    from EM-C lands in the same run-length regime as the quoted 12."""
+    src = """
+    thread f(mate, n) {
+        for (var k = 0; k < n; k = k + 1) {
+            mem[64 + k] = rread(mate, k);
+        }
+    }
+    """
+    m = run_source(src, [(0, "f", (1, 8))])
+    comp = m.pes[0].counters.cycles[Bucket.COMPUTATION]
+    per_iter = comp / 8
+    assert 6 <= per_iter <= 14
+
+
+def test_reads_suspend_like_native_threads():
+    src = "thread f(mate) { var a = rread(mate, 0); var b = rread(mate, 1); mem[0] = a + b; }"
+    m = run_source(src, [(0, "f", (1,))],
+                   init=lambda m: m.pes[1].memory.write_block(0, [1, 2]))
+    assert m.pes[0].counters.switches[SwitchKind.REMOTE_READ] == 2
+    assert mem(m, 0, 0) == 3
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+def test_undefined_variable():
+    with pytest.raises(EmcRuntimeError, match="undefined variable"):
+        run_source("thread f() { mem[0] = ghost; }", [(0, "f", ())])
+
+
+def test_assign_to_undeclared():
+    with pytest.raises(EmcRuntimeError, match="undeclared"):
+        run_source("thread f() { x = 1; }", [(0, "f", ())])
+
+
+def test_division_by_zero():
+    with pytest.raises(EmcRuntimeError, match="division by zero"):
+        run_source("thread f() { mem[0] = 1 / 0; }", [(0, "f", ())])
+
+
+def test_unknown_builtin():
+    with pytest.raises(EmcRuntimeError, match="unknown builtin"):
+        run_source("thread f() { frobnicate(); }", [(0, "f", ())])
+
+
+def test_wrong_arity_builtin():
+    with pytest.raises(EmcRuntimeError, match="takes 2 arguments"):
+        run_source("thread f() { rread(1); }", [(0, "f", ())])
+
+
+def test_spawn_unknown_thread():
+    with pytest.raises(EmcRuntimeError, match="unknown thread"):
+        run_source('thread f() { spawn(0, "nope"); }', [(0, "f", ())])
+
+
+def test_wrong_thread_arity():
+    with pytest.raises(EmcRuntimeError, match="takes 1 arguments"):
+        run_source("thread f(a) { return; }", [(0, "f", ())])
+
+
+def test_bad_memory_index():
+    with pytest.raises(EmcRuntimeError, match="index"):
+        run_source("thread f() { mem[1.5] = 0; }", [(0, "f", ())])
+
+
+def test_env_collision_rejected():
+    with pytest.raises(EmcSyntaxError, match="collides"):
+        compile_program("thread f() { return; }", env={"f": 1})

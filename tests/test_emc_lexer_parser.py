@@ -1,0 +1,149 @@
+"""EM-C front end: lexer and parser."""
+
+import pytest
+
+from repro.emc import Lexer, TokenKind
+from repro.emc import ast as A
+from repro.emc.parser import parse
+from repro.errors import EmcSyntaxError
+
+
+def lex(src):
+    return [(t.kind, t.text) for t in Lexer(src).tokens()]
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+def test_lex_simple_tokens():
+    assert lex("var x = 12;") == [
+        (TokenKind.KEYWORD, "var"),
+        (TokenKind.IDENT, "x"),
+        (TokenKind.OP, "="),
+        (TokenKind.INT, "12"),
+        (TokenKind.PUNCT, ";"),
+        (TokenKind.EOF, ""),
+    ]
+
+
+def test_lex_floats_and_ints():
+    kinds = [k for k, _ in lex("1 2.5 0.125")]
+    assert kinds[:3] == [TokenKind.INT, TokenKind.FLOAT, TokenKind.FLOAT]
+
+
+def test_lex_two_char_operators():
+    texts = [t for _, t in lex("a == b != c <= d >= e && f || g")]
+    assert "==" in texts and "!=" in texts and "<=" in texts
+    assert ">=" in texts and "&&" in texts and "||" in texts
+
+
+def test_lex_strings():
+    assert (TokenKind.STRING, "hello world") in lex('"hello world"')
+
+
+def test_lex_comments_skipped():
+    src = """
+    // line comment
+    var x /* block
+    comment */ = 1;
+    """
+    texts = [t for _, t in lex(src)]
+    assert texts == ["var", "x", "=", "1", ";", ""]
+
+
+def test_lex_empty_source():
+    assert lex("") == [(TokenKind.EOF, "")]
+    assert lex("   \n\t ") == [(TokenKind.EOF, "")]
+
+
+def test_lex_positions():
+    toks = Lexer("a\n  b").tokens()
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_lex_errors():
+    with pytest.raises(EmcSyntaxError, match="unexpected character"):
+        Lexer("@").tokens()
+    with pytest.raises(EmcSyntaxError, match="unterminated string"):
+        Lexer('"abc').tokens()
+    with pytest.raises(EmcSyntaxError, match="unterminated block comment"):
+        Lexer("/* abc").tokens()
+    with pytest.raises(EmcSyntaxError, match="malformed number"):
+        Lexer("12.").tokens()
+    with pytest.raises(EmcSyntaxError, match="newline inside string"):
+        Lexer('"a\nb"').tokens()
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def test_parse_thread_signature():
+    prog = parse("thread f(a, b) { return; }")
+    assert prog.threads["f"].params == ("a", "b")
+
+
+def test_parse_precedence():
+    prog = parse("thread f() { var x = 1 + 2 * 3; }")
+    decl = prog.threads["f"].body.statements[0]
+    assert isinstance(decl.value, A.BinOp) and decl.value.op == "+"
+    assert isinstance(decl.value.right, A.BinOp) and decl.value.right.op == "*"
+
+
+def test_parse_parentheses_override():
+    prog = parse("thread f() { var x = (1 + 2) * 3; }")
+    decl = prog.threads["f"].body.statements[0]
+    assert decl.value.op == "*"
+
+
+def test_parse_if_else_chain():
+    prog = parse(
+        "thread f(x) { if (x > 0) { return 1; } else if (x < 0) { return 2; } else { return 3; } }"
+    )
+    node = prog.threads["f"].body.statements[0]
+    assert isinstance(node, A.If)
+    nested = node.else_block.statements[0]
+    assert isinstance(nested, A.If)
+    assert nested.else_block is not None
+
+
+def test_parse_for_parts_optional():
+    prog = parse("thread f() { for (;;) { break; } }")
+    loop = prog.threads["f"].body.statements[0]
+    assert loop.init is None and loop.condition is None and loop.step is None
+
+
+def test_parse_mem_load_and_store():
+    prog = parse("thread f() { mem[0] = mem[1] + 2; }")
+    store = prog.threads["f"].body.statements[0]
+    assert isinstance(store, A.MemStore)
+    assert isinstance(store.value.left, A.MemLoad)
+
+
+def test_parse_call_args():
+    prog = parse('thread f() { spawn(1, "f", 2, 3); }')
+    call = prog.threads["f"].body.statements[0].expr
+    assert call.name == "spawn" and len(call.args) == 4
+    assert call.args[1].value == "f"
+
+
+def test_parse_unary():
+    prog = parse("thread f() { var x = -3 + !0; }")
+    expr = prog.threads["f"].body.statements[0].value
+    assert isinstance(expr.left, A.UnaryOp) and expr.left.op == "-"
+    assert isinstance(expr.right, A.UnaryOp) and expr.right.op == "!"
+
+
+def test_parse_errors():
+    with pytest.raises(EmcSyntaxError, match="empty program"):
+        parse("")
+    with pytest.raises(EmcSyntaxError, match="duplicate thread"):
+        parse("thread f() { return; } thread f() { return; }")
+    with pytest.raises(EmcSyntaxError, match="duplicate parameter"):
+        parse("thread f(a, a) { return; }")
+    with pytest.raises(EmcSyntaxError, match="expected"):
+        parse("thread f( { return; }")
+    with pytest.raises(EmcSyntaxError, match="unterminated block"):
+        parse("thread f() { return;")
+    with pytest.raises(EmcSyntaxError, match="expected an expression"):
+        parse("thread f() { var x = ; }")

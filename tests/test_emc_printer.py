@@ -1,0 +1,135 @@
+"""EM-C pretty-printer: examples + the parse∘pretty round-trip property."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emc import parse, pretty
+from repro.emc import ast as A
+
+
+def strip_lines(node):
+    """Recursively zero the source-position fields for comparison."""
+    if isinstance(node, A.Program):
+        return {name: strip_lines(t) for name, t in node.threads.items()}
+    if dataclasses.is_dataclass(node):
+        values = []
+        for f in dataclasses.fields(node):
+            if f.name == "line":
+                values.append(0)
+            else:
+                values.append(strip_lines(getattr(node, f.name)))
+        return (type(node).__name__, tuple(values))
+    if isinstance(node, tuple):
+        return tuple(strip_lines(x) for x in node)
+    return node
+
+
+def roundtrip(src: str):
+    first = parse(src)
+    again = parse(pretty(first))
+    assert strip_lines(first) == strip_lines(again), pretty(first)
+
+
+def test_pretty_simple():
+    out = pretty(parse("thread f(a){var x=a+1;}"))
+    assert "thread f(a) {" in out
+    assert "var x = a + 1;" in out
+
+
+def test_pretty_precedence_parentheses():
+    src = "thread f() { var x = (1 + 2) * 3; var y = 1 + 2 * 3; }"
+    out = pretty(parse(src))
+    assert "(1 + 2) * 3" in out
+    assert "1 + 2 * 3" in out
+
+
+def test_pretty_right_assoc_parens():
+    """a - (b - c) must keep its parentheses."""
+    src = "thread f(a, b, c) { var x = a - (b - c); }"
+    out = pretty(parse(src))
+    assert "a - (b - c)" in out
+    roundtrip(src)
+
+
+def test_roundtrip_statements():
+    roundtrip(
+        """
+        thread f(n) {
+            var total = 0;
+            for (var i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { continue; } else { total = total + i; }
+                while (total > 100) { total = total - 10; break; }
+            }
+            mem[total] = mem[0] + 1;
+            return total;
+        }
+        thread g() { spawn(0, "f", 3); print("hi", 1.5); }
+        """
+    )
+
+
+def test_roundtrip_unary_chains():
+    roundtrip("thread f(x) { var y = --x; var z = !(x || -1); }")
+
+
+def test_roundtrip_empty_bodies():
+    roundtrip("thread f() { for (;;) { break; } }")
+
+
+# ----------------------------------------------------------------------
+# Property: pretty-printed random programs re-parse to the same AST.
+# ----------------------------------------------------------------------
+_names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+_expr = st.recursive(
+    st.one_of(
+        st.integers(0, 999).map(lambda v: A.Literal(v)),
+        _names.map(lambda n: A.VarRef(n)),
+    ),
+    lambda child: st.one_of(
+        st.tuples(st.sampled_from(list("+-*/%") + ["==", "<", "&&", "||"]), child, child).map(
+            lambda t: A.BinOp(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(["-", "!"]), child).map(lambda t: A.UnaryOp(t[0], t[1])),
+        child.map(lambda e: A.MemLoad(e)),
+        st.tuples(st.sampled_from(["len", "at", "compute"]), st.lists(child, min_size=1, max_size=2)).map(
+            lambda t: A.Call(t[0], tuple(t[1]))
+        ),
+    ),
+    max_leaves=12,
+)
+
+_stmt = st.recursive(
+    st.one_of(
+        st.tuples(_names, _expr).map(lambda t: A.VarDecl(t[0], t[1])),
+        st.tuples(_names, _expr).map(lambda t: A.Assign(t[0], t[1])),
+        st.tuples(_expr, _expr).map(lambda t: A.MemStore(t[0], t[1])),
+        _expr.map(lambda e: A.ExprStmt(e)),
+        st.just(A.Return(None)),
+        _expr.map(lambda e: A.Return(e)),
+    ),
+    lambda child: st.one_of(
+        st.tuples(_expr, st.lists(child, max_size=3)).map(
+            lambda t: A.If(t[0], A.Block(tuple(t[1])), None)
+        ),
+        st.tuples(_expr, st.lists(child, max_size=3), st.lists(child, max_size=2)).map(
+            lambda t: A.If(t[0], A.Block(tuple(t[1])), A.Block(tuple(t[2])))
+        ),
+        st.tuples(_expr, st.lists(child, max_size=3)).map(
+            lambda t: A.While(t[0], A.Block(tuple(t[1]) + (A.Break(),)))
+        ),
+    ),
+    max_leaves=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_stmt, min_size=1, max_size=6))
+def test_roundtrip_property(statements):
+    prog = A.Program({"f": A.ThreadDef("f", ("a", "b", "c", "x", "y"), A.Block(tuple(statements)))})
+    src = pretty(prog)
+    reparsed = parse(src)
+    assert strip_lines(prog) == strip_lines(reparsed), src

@@ -1,0 +1,140 @@
+"""Experiment drivers at tiny scale: caching, panels, microbenchmarks."""
+
+import pytest
+
+from repro.experiments import (
+    THREAD_SWEEP,
+    default_scale,
+    fig6_panel,
+    fig6_series,
+    fig7_panel,
+    fig8_panel,
+    fig9_panel,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    measure_overhead_null_loop,
+    measure_remote_read_latency,
+    run_app,
+    sweep_threads,
+)
+from repro.errors import ConfigError
+from repro.experiments.common import clear_cache
+
+
+def test_default_scale_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    assert default_scale().name == "tiny"
+    monkeypatch.setenv("REPRO_SCALE", "nope")
+    with pytest.raises(ConfigError):
+        default_scale()
+
+
+def test_run_app_is_cached():
+    clear_cache()
+    a = run_app("sort", 4, 8, 2)
+    b = run_app("sort", 4, 8, 2)
+    assert a is b  # memoised
+    c = run_app("sort", 4, 8, 2, seed=1)
+    assert c is not a
+
+
+def test_run_record_fields():
+    rec = run_app("fft", 4, 8, 2)
+    assert rec.verified
+    assert rec.comm_seconds >= rec.comm_idle_seconds >= 0
+    assert abs(sum(rec.breakdown().values()) - 100.0) < 1e-6
+    from repro import SwitchKind
+
+    assert rec.switches(SwitchKind.REMOTE_READ) > 0
+
+
+def test_sweep_skips_oversized_thread_counts():
+    recs = sweep_threads("sort", 4, 8, threads=(1, 2, 16))
+    assert set(recs) == {1, 2, 8} - {8} | {1, 2}  # h=16 > npp=8 skipped
+
+
+def test_fig6_series_structure():
+    series = fig6_series("sort", 4, (8,), threads=(1, 2, 4))
+    assert set(series) == {8}
+    assert set(series[8]) == {1, 2, 4}
+    assert all(v >= 0 for v in series[8].values())
+
+
+def test_fig6_panel_and_format(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    scale = default_scale()
+    series = fig6_panel("a", scale, threads=(1, 2, 4))
+    out = format_fig6("a", series, scale.p_small)
+    assert "B-sorting" in out and "communication time" in out
+    with pytest.raises(ConfigError):
+        fig6_panel("z")
+
+
+def test_fig7_efficiency_panel(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    scale = default_scale()
+    eff = fig7_panel("c", scale, threads=(1, 2, 4))
+    for curve in eff.values():
+        assert curve[1] == 0.0
+    out = format_fig7("c", eff, scale.p_small)
+    assert "efficiency" in out
+
+
+def test_fig8_panel_percentages(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    scale = default_scale()
+    panel = fig8_panel("a", scale, threads=(1, 2))
+    for comps in panel.values():
+        assert abs(sum(comps.values()) - 100.0) < 1e-6
+    out = format_fig8("a", panel, scale.p_large, scale.small_size)
+    assert "execution time distribution" in out
+    with pytest.raises(ConfigError):
+        fig8_panel("q")
+
+
+def test_fig9_panel_switches(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "tiny")
+    scale = default_scale()
+    panel = fig9_panel("a", scale, threads=(1, 4))
+    assert panel[1]["remote_read"] > 0
+    assert panel[4]["iter_sync"] > panel[1]["iter_sync"] * 0.5
+    out = format_fig9("a", panel, scale.p_large, scale.small_size)
+    assert "switches per processor" in out
+    with pytest.raises(ConfigError):
+        fig9_panel("x")
+
+
+def test_thread_sweep_constant():
+    assert THREAD_SWEEP[0] == 1 and THREAD_SWEEP[-1] == 16
+
+
+def test_remote_read_latency_near_one_microsecond():
+    """µ1: the paper quotes ~1 µs (20-40 cycles) per remote read."""
+    points = measure_remote_read_latency(n_pes=64, reads=64)
+    for p in points:
+        assert 8 <= p.roundtrip_cycles <= 40, p
+        assert 0.4 <= p.microseconds <= 2.0, p
+    assert {p.target for p in points} >= {1, 32, 63}
+
+
+def test_null_loop_overhead_is_packet_generation():
+    """µ2: a null loop's overhead is exactly the pkt-gen instructions."""
+    res = measure_overhead_null_loop(n_pes=4, writes=128)
+    assert res.cycles_per_packet == pytest.approx(1.0)
+    assert res.overhead_cycles == 128
+
+
+def test_run_app_rejects_unknown_app():
+    from repro.errors import ProgramError
+
+    with pytest.raises(ProgramError, match="unknown app"):
+        run_app("quicksort", 4, 8, 1)
+
+
+def test_scale_size_roles():
+    scale = default_scale()
+    assert scale.small_size == scale.sizes_per_pe[0]
+    assert scale.large_size == scale.sizes_per_pe[-1]
+    assert scale.sizes_for(scale.p_small) == scale.sizes_per_pe

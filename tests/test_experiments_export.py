@@ -1,0 +1,71 @@
+"""CSV figure export."""
+
+import csv
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import default_scale, export_all
+
+
+@pytest.fixture(scope="module")
+def exported(tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("csv")
+    import os
+
+    os.environ["REPRO_SCALE"] = "tiny"
+    paths = export_all(outdir, default_scale(), threads=(1, 2, 4))
+    return outdir, paths
+
+
+def _read(path):
+    with path.open() as fh:
+        return list(csv.DictReader(fh))
+
+
+def test_writes_one_csv_per_figure_plus_combined(exported):
+    outdir, paths = exported
+    names = sorted(p.name for p in paths)
+    assert names == ["all_figures.csv", "fig6.csv", "fig7.csv", "fig8.csv", "fig9.csv"]
+
+
+def test_fig6_rows_shape(exported):
+    outdir, _ = exported
+    rows = _read(outdir / "fig6.csv")
+    assert rows, "no fig6 rows"
+    first = rows[0]
+    assert set(first) == {"figure", "panel", "app", "n_pes", "npp", "threads", "metric", "value"}
+    assert all(r["figure"] == "fig6" for r in rows)
+    assert all(r["metric"] == "comm_seconds" for r in rows)
+    assert {r["panel"] for r in rows} == {"a", "b", "c", "d"}
+
+
+def test_fig7_baseline_zero(exported):
+    outdir, _ = exported
+    rows = _read(outdir / "fig7.csv")
+    ones = [float(r["value"]) for r in rows if r["threads"] == "1"]
+    assert ones and all(v == 0.0 for v in ones)
+
+
+def test_fig8_percentages_sum(exported):
+    outdir, _ = exported
+    rows = _read(outdir / "fig8.csv")
+    by_key = {}
+    for r in rows:
+        key = (r["panel"], r["threads"])
+        by_key.setdefault(key, 0.0)
+        by_key[key] += float(r["value"])
+    for key, total in by_key.items():
+        assert abs(total - 100.0) < 1e-6, key
+
+
+def test_combined_is_concatenation(exported):
+    outdir, _ = exported
+    combined = _read(outdir / "all_figures.csv")
+    parts = sum(len(_read(outdir / f"{f}.csv")) for f in ("fig6", "fig7", "fig8", "fig9"))
+    assert len(combined) == parts
+
+
+def test_unknown_figure_rejected(tmp_path):
+    with pytest.raises(ConfigError):
+        export_all(tmp_path, figures=("fig42",))

@@ -1,0 +1,37 @@
+"""Golden-run regression: the simulator's exact determinism, pinned.
+
+Any change to timing constants, scheduling, routing, or accounting
+produces a diff here.  After an *intentional* model change, regenerate
+with: python -m repro goldens --write tests/goldens
+"""
+
+import pathlib
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.goldens import GOLDEN_CONFIGS, compare_goldens, make_goldens
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def test_goldens_match_stored():
+    problems = compare_goldens(GOLDEN_DIR)
+    assert problems == [], "\n".join(
+        ["golden regression (regenerate via `python -m repro goldens --write tests/goldens`"
+         " if the change was intentional):"] + problems
+    )
+
+
+def test_goldens_cover_all_apps():
+    apps = {cfg[1] for cfg in GOLDEN_CONFIGS}
+    assert apps == {"sort", "fft", "transpose"}
+
+
+def test_make_goldens_is_deterministic():
+    assert make_goldens() == make_goldens()
+
+
+def test_missing_golden_file_rejected(tmp_path):
+    with pytest.raises(ConfigError, match="no golden file"):
+        compare_goldens(tmp_path)

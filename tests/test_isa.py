@@ -1,0 +1,59 @@
+"""Instruction cost model and kernel budgets."""
+
+import pytest
+
+from repro.config import TimingModel
+from repro.errors import ConfigError
+from repro.isa import KERNEL_COSTS, CostModel, InstructionClass, KernelCosts
+
+
+def test_default_instruction_costs_match_paper():
+    """Integer and single-precision FP take one clock; packet generation
+    takes one clock (§2.2)."""
+    cm = CostModel(TimingModel())
+    assert cm.cost(InstructionClass.INT) == 1
+    assert cm.cost(InstructionClass.FP) == 1
+    assert cm.cost(InstructionClass.PKT_GEN) == 1
+    assert cm.cost(InstructionClass.FP_DIV) > 1
+    assert cm.cost(InstructionClass.MEM_EXCHANGE) > 1
+
+
+def test_cost_scales_with_count():
+    cm = CostModel(TimingModel())
+    assert cm.cost(InstructionClass.INT, 12) == 12
+
+
+def test_negative_count_rejected():
+    cm = CostModel(TimingModel())
+    with pytest.raises(ConfigError):
+        cm.cost(InstructionClass.INT, -1)
+
+
+def test_mix():
+    cm = CostModel(TimingModel())
+    assert cm.mix(int=10, fp=4, fp_div=1) == 10 + 4 + TimingModel().fp_div
+
+
+def test_mix_unknown_class_rejected():
+    cm = CostModel(TimingModel())
+    with pytest.raises(ValueError):
+        cm.mix(simd=3)
+
+
+def test_kernel_costs_paper_values():
+    """The budgets the paper quotes: 12-clock sorting loop body, <= 10
+    instructions per merged element, hundreds of clocks per FFT point."""
+    assert KERNEL_COSTS.sort_read_loop_body == 12
+    assert KERNEL_COSTS.sort_merge_per_element <= 10
+    assert KERNEL_COSTS.fft_butterfly_per_point >= 100
+
+
+def test_kernel_costs_validation():
+    with pytest.raises(ConfigError):
+        KernelCosts(sort_read_loop_body=0).validate()
+    KERNEL_COSTS.validate()
+
+
+def test_custom_timing_propagates():
+    cm = CostModel(TimingModel().scaled(fp_div=20))
+    assert cm.cost(InstructionClass.FP_DIV) == 20

@@ -1,0 +1,170 @@
+"""Machine facade: spawning, barriers end-to-end, reports, deadlocks."""
+
+import pytest
+
+from repro import EMX, MachineConfig, SwitchKind
+from repro.errors import ConfigError, DeadlockError, ProgramError, SimulationError
+from repro.machine import emx80, paper_machine, small_machine
+
+
+def test_spawn_unregistered_rejected(machine4):
+    with pytest.raises(ProgramError):
+        machine4.spawn(0, "ghost")
+
+
+def test_spawn_bad_pe_rejected(machine4):
+    @machine4.thread
+    def worker(ctx):
+        yield ctx.compute(1)
+
+    with pytest.raises(ProgramError):
+        machine4.spawn(9, "worker")
+
+
+def test_report_runtime_and_seconds(machine4):
+    @machine4.thread
+    def worker(ctx):
+        yield ctx.compute(200)
+
+    machine4.spawn(0, "worker")
+    report = machine4.run()
+    assert report.runtime_cycles >= 200
+    assert report.runtime_seconds == pytest.approx(report.runtime_cycles * 50e-9)
+
+
+def test_barrier_end_to_end(machine4):
+    """Threads on all PEs rendezvous through the packet-based barrier."""
+    bar = machine4.make_barrier(2)
+    after = []
+
+    @machine4.thread
+    def worker(ctx, t):
+        yield ctx.compute(5 * (ctx.pe + 1) * (t + 1))  # staggered arrivals
+        yield ctx.barrier_wait(bar)
+        after.append((ctx.pe, t))
+
+    for pe in range(4):
+        for t in range(2):
+            machine4.spawn(pe, "worker", t)
+    report = machine4.run()
+    assert sorted(after) == [(pe, t) for pe in range(4) for t in range(2)]
+    assert bar.generations_completed == 1
+    assert report.switches(SwitchKind.ITER_SYNC) > 0
+
+
+def test_barrier_reused_across_generations(machine4):
+    bar = machine4.make_barrier(1)
+    log = []
+
+    @machine4.thread
+    def worker(ctx):
+        for it in range(3):
+            yield ctx.compute(ctx.pe + 1)
+            yield ctx.barrier_wait(bar)
+            log.append((it, ctx.pe))
+
+    for pe in range(4):
+        machine4.spawn(pe, "worker")
+    machine4.run()
+    assert bar.generations_completed == 3
+    # No PE reaches iteration k+1 before every PE logged iteration k.
+    seen_by_iter = {}
+    for it, pe in log:
+        seen_by_iter.setdefault(it, []).append(pe)
+    positions = {it: i for i, (it, _) in enumerate(log)}
+    for it in range(2):
+        last_of_it = max(i for i, (x, _) in enumerate(log) if x == it)
+        first_of_next = min(i for i, (x, _) in enumerate(log) if x == it + 1)
+        assert last_of_it < first_of_next
+
+
+def test_partial_membership_barrier(machine4):
+    bar = machine4.make_barrier([1, 0, 1, 0])
+    done = []
+
+    @machine4.thread
+    def member(ctx):
+        yield ctx.barrier_wait(bar)
+        done.append(ctx.pe)
+
+    machine4.spawn(0, "member")
+    machine4.spawn(2, "member")
+    machine4.run()
+    assert sorted(done) == [0, 2]
+
+
+def test_unreleasable_barrier_hits_cycle_limit():
+    """A barrier that can never release keeps its waiters re-checking;
+    the run fails loudly at the cycle limit instead of hanging."""
+    m = EMX(MachineConfig(n_pes=4, memory_words=1 << 12, max_cycles=200_000))
+    bar = m.make_barrier([1, 1, 0, 0])
+
+    @m.thread
+    def member(ctx):
+        yield ctx.barrier_wait(bar)
+
+    m.spawn(0, "member")  # PE 1 never arrives
+    with pytest.raises(SimulationError):
+        m.run()
+
+
+def test_deadlock_detected_for_passive_waiters(machine4):
+    """A token turn that never comes leaves a passively parked thread;
+    the drained event queue triggers DeadlockError with a diagnosis."""
+    from repro import OrderToken
+
+    tok = OrderToken()
+
+    @machine4.thread
+    def waiter(ctx):
+        yield ctx.token_wait(tok, 5)  # nobody ever advances to 5
+
+    machine4.spawn(0, "waiter")
+    with pytest.raises(DeadlockError, match="PE 0"):
+        machine4.run()
+
+
+def test_quiescence_with_no_work(machine4):
+    report = machine4.run()
+    assert report.runtime_cycles == 0
+    assert report.events_fired == 0
+
+
+def test_presets():
+    assert emx80().config.n_pes == 80
+    assert paper_machine(16).config.n_pes == 16
+    assert paper_machine(64).config.n_pes == 64
+    with pytest.raises(ConfigError):
+        paper_machine(32)
+    assert small_machine().config.n_pes == 4
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        MachineConfig(n_pes=0).validate()
+    with pytest.raises(ConfigError):
+        MachineConfig(network_model="wormhole").validate()
+    with pytest.raises(ConfigError):
+        MachineConfig().with_(ibu_fifo_depth=0)
+
+
+def test_timing_validation():
+    from repro import TimingModel
+
+    with pytest.raises(ConfigError):
+        TimingModel(pkt_gen=0).validate()
+    tm = TimingModel().scaled(reg_save=9)
+    assert tm.reg_save == 9
+    assert tm.switch_cost == 9 + tm.match_invoke
+
+
+def test_thread_decorator_returns_function(machine4):
+    @machine4.thread
+    def worker(ctx):
+        yield ctx.compute(1)
+
+    assert worker.__name__ == "worker"
+    machine4.spawn(1, "worker")
+    report = machine4.run()
+    assert report.counters[1].threads_started == 1
+    assert report.counters[1].threads_finished == 1

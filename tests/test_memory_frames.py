@@ -1,0 +1,97 @@
+"""Activation-frame table: tree structure, register images, release rules."""
+
+import pytest
+
+from repro.errors import SegmentError
+from repro.memory import FrameTable, SegmentAllocator
+from repro.memory.frames import FRAME_REGISTER_WORDS
+
+
+def table(capacity=4096):
+    return FrameTable(SegmentAllocator(capacity), pe=0)
+
+
+def test_create_allocates_register_area():
+    t = table()
+    f = t.create()
+    assert f.segment.size == FRAME_REGISTER_WORDS
+    assert f.live
+
+
+def test_create_with_locals():
+    t = table()
+    f = t.create(extra_words=10)
+    assert f.segment.size == FRAME_REGISTER_WORDS + 10
+
+
+def test_frames_form_a_tree():
+    t = table()
+    root = t.create()
+    kid = t.create(parent_id=root.frame_id)
+    grandkid = t.create(parent_id=kid.frame_id)
+    assert kid.parent_id == root.frame_id
+    assert grandkid.frame_id in t.get(kid.frame_id).children
+    t.assert_tree()
+
+
+def test_unknown_parent_rejected():
+    t = table()
+    with pytest.raises(SegmentError):
+        t.create(parent_id=99)
+
+
+def test_release_frees_segment():
+    t = table(64)
+    f1 = t.create()
+    f2 = t.create()
+    t.release(f1.frame_id)
+    t.release(f2.frame_id)
+    # The arena is empty again: a new full-size alloc succeeds.
+    t.create(extra_words=64 - FRAME_REGISTER_WORDS)
+
+
+def test_release_with_live_children_rejected():
+    t = table()
+    root = t.create()
+    t.create(parent_id=root.frame_id)
+    with pytest.raises(SegmentError, match="live children"):
+        t.release(root.frame_id)
+
+
+def test_release_after_children_die():
+    t = table()
+    root = t.create()
+    kid = t.create(parent_id=root.frame_id)
+    t.release(kid.frame_id)
+    t.release(root.frame_id)
+    assert t.live_count == 0
+
+
+def test_double_release_rejected():
+    t = table()
+    f = t.create()
+    t.release(f.frame_id)
+    with pytest.raises(SegmentError):
+        t.release(f.frame_id)
+
+
+def test_register_save_restore():
+    t = table()
+    f = t.create()
+    f.save_registers((1, 2, "x"))
+    assert f.restore_registers() == (1, 2, "x")
+    assert f.restore_registers() == ()  # cleared after restore
+
+
+def test_peak_live_tracks_high_water():
+    t = table()
+    frames = [t.create() for _ in range(5)]
+    for f in frames:
+        t.release(f.frame_id)
+    assert t.peak_live == 5
+    assert t.live_count == 0
+
+
+def test_get_unknown_frame():
+    with pytest.raises(SegmentError):
+        table().get(123)

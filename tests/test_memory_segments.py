@@ -1,0 +1,111 @@
+"""Segment allocator: first fit, coalescing, invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SegmentError
+from repro.memory import Segment, SegmentAllocator, SegmentKind
+
+
+def test_alloc_is_first_fit_from_base():
+    a = SegmentAllocator(100)
+    s1 = a.alloc(10)
+    s2 = a.alloc(20)
+    assert (s1.base, s1.size) == (0, 10)
+    assert (s2.base, s2.size) == (10, 20)
+
+
+def test_alloc_respects_arena_base():
+    a = SegmentAllocator(50, base=1000)
+    assert a.alloc(5).base == 1000
+
+
+def test_exhaustion_raises():
+    a = SegmentAllocator(10)
+    a.alloc(10)
+    with pytest.raises(SegmentError, match="out of segment memory"):
+        a.alloc(1)
+
+
+def test_free_then_realloc_reuses_hole():
+    a = SegmentAllocator(30)
+    s1 = a.alloc(10)
+    a.alloc(10)
+    a.free(s1)
+    s3 = a.alloc(10)
+    assert s3.base == 0
+
+
+def test_coalesce_with_both_neighbours():
+    a = SegmentAllocator(30)
+    s1, s2, s3 = a.alloc(10), a.alloc(10), a.alloc(10)
+    a.free(s1)
+    a.free(s3)
+    a.free(s2)  # middle free merges all three holes
+    assert a.free_words == 30
+    assert a.alloc(30).size == 30  # one contiguous hole again
+
+
+def test_double_free_rejected():
+    a = SegmentAllocator(10)
+    s = a.alloc(5)
+    a.free(s)
+    with pytest.raises(SegmentError, match="double free"):
+        a.free(s)
+
+
+def test_foreign_segment_rejected():
+    a = SegmentAllocator(10)
+    a.alloc(5)
+    with pytest.raises(SegmentError):
+        a.free(Segment(SegmentKind.BUFFER, 0, 3))
+
+
+def test_zero_size_rejected():
+    a = SegmentAllocator(10)
+    with pytest.raises(SegmentError):
+        a.alloc(0)
+
+
+def test_owner_of():
+    a = SegmentAllocator(20)
+    s = a.alloc(8)
+    assert a.owner_of(3) == s
+    assert a.owner_of(8) is None
+
+
+def test_segment_contains_and_end():
+    s = Segment(SegmentKind.OPERAND, 4, 6)
+    assert s.end == 10
+    assert s.contains(4) and s.contains(9)
+    assert not s.contains(3) and not s.contains(10)
+
+
+@given(st.data())
+def test_allocator_invariants(data):
+    """Random alloc/free interleavings keep segments disjoint and
+    conserve the arena's total words."""
+    capacity = data.draw(st.integers(min_value=16, max_value=256))
+    a = SegmentAllocator(capacity)
+    live: list[Segment] = []
+    for _ in range(data.draw(st.integers(min_value=1, max_value=60))):
+        if live and data.draw(st.booleans()):
+            seg = live.pop(data.draw(st.integers(0, len(live) - 1)))
+            a.free(seg)
+        else:
+            size = data.draw(st.integers(min_value=1, max_value=capacity // 4))
+            try:
+                live.append(a.alloc(size))
+            except SegmentError:
+                pass  # arena full is legal
+        # Invariant 1: live segments are pairwise disjoint.
+        spans = sorted((s.base, s.end) for s in live)
+        for (b1, e1), (b2, _e2) in zip(spans, spans[1:]):
+            assert e1 <= b2
+        # Invariant 2: free + live == capacity.
+        assert a.free_words + sum(s.size for s in live) == capacity
+        # Invariant 3: allocator agrees about live segments.
+        assert sorted((s.base, s.size) for s in a.live_segments) == sorted(
+            (s.base, s.size) for s in live
+        )

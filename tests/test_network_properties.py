@@ -1,0 +1,97 @@
+"""Hypothesis properties of the interconnect.
+
+The switch unit enforces message non-overtaking and conserves packets;
+these must hold under arbitrary traffic, not just the unit tests'
+hand-picked cases.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TimingModel
+from repro.network import AnalyticOmegaNetwork, CircularOmegaTopology, DetailedOmegaNetwork
+from repro.packet import Packet, PacketKind
+from repro.sim import Engine
+
+N_PES = 8
+
+
+def _run_traffic(cls, schedule):
+    """schedule: list of (time, src, dst, tag). Returns delivery log."""
+    engine = Engine()
+    net = cls(engine, CircularOmegaTopology(N_PES), TimingModel())
+    log = []
+    for pe in range(N_PES):
+        net.attach(pe, lambda p, pe=pe: log.append((engine.now, pe, p.src, p.data)))
+    for when, src, dst, tag in schedule:
+        engine.schedule(
+            when,
+            net.send,
+            Packet(kind=PacketKind.WRITE, src=src, dst=dst, data=tag),
+        )
+    engine.run()
+    return net, log
+
+
+_schedule = st.lists(
+    st.tuples(
+        st.integers(0, 200),  # injection time
+        st.integers(0, N_PES - 1),  # src
+        st.integers(0, N_PES - 1),  # dst
+        st.integers(0, 10**6),  # tag
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_schedule, st.sampled_from([DetailedOmegaNetwork, AnalyticOmegaNetwork]))
+def test_all_packets_delivered_exactly_once(schedule, cls):
+    net, log = _run_traffic(cls, schedule)
+    assert len(log) == len(schedule)
+    assert net.in_flight == 0
+    assert net.stats.packets == len(schedule)
+    assert sorted(tag for _, _, _, tag in log) == sorted(t for *_, t in schedule)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_schedule)
+def test_non_overtaking_per_flow(schedule):
+    """For every (src, dst) pair, packets arrive in injection order,
+    regardless of cross traffic sharing switch ports."""
+    # Tag packets with their per-flow sequence number.
+    flows: dict[tuple[int, int], int] = {}
+    tagged = []
+    for when, src, dst, _ in sorted(schedule):
+        seq = flows.get((src, dst), 0)
+        flows[(src, dst)] = seq + 1
+        tagged.append((when, src, dst, seq))
+    _, log = _run_traffic(DetailedOmegaNetwork, tagged)
+    seen: dict[tuple[int, int], int] = {}
+    for _now, dst, src, seq in log:
+        prev = seen.get((src, dst), -1)
+        assert seq == prev + 1, f"flow {src}->{dst} overtook: {seq} after {prev}"
+        seen[(src, dst)] = seq
+
+
+@settings(max_examples=40, deadline=None)
+@given(_schedule)
+def test_latency_never_beats_cut_through(schedule):
+    """No packet arrives faster than k+1 cycles (+ the eject charge)."""
+    engine = Engine()
+    net = DetailedOmegaNetwork(engine, CircularOmegaTopology(N_PES), TimingModel())
+    timing = TimingModel()
+    violations = []
+
+    def sink(pkt, pe):
+        floor = net.topology.hop_count(pkt.src, pe) + timing.eject
+        if engine.now - pkt.born < floor:
+            violations.append(pkt)
+
+    for pe in range(N_PES):
+        net.attach(pe, lambda p, pe=pe: sink(p, pe))
+    for when, src, dst, tag in schedule:
+        engine.schedule(when, net.send, Packet(kind=PacketKind.WRITE, src=src, dst=dst, data=tag))
+    engine.run()
+    assert violations == []

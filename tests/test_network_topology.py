@@ -1,0 +1,104 @@
+"""Circular Omega topology: routing correctness (incl. hypothesis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import RoutingError
+from repro.network import CircularOmegaTopology
+
+
+def test_switch_count_pads_to_power_of_two():
+    assert CircularOmegaTopology(16).n_switches == 16
+    assert CircularOmegaTopology(80).n_switches == 128
+    assert CircularOmegaTopology(5).n_switches == 8
+    assert CircularOmegaTopology(1).n_switches == 2
+
+
+def test_self_route_is_empty():
+    topo = CircularOmegaTopology(16)
+    assert topo.route(3, 3) == ()
+    assert topo.hop_count(3, 3) == 0
+    assert topo.latency_cycles(3, 3) == 1
+
+
+def test_route_follows_shuffle_exchange():
+    topo = CircularOmegaTopology(16)
+    for src in range(16):
+        for dst in range(16):
+            node = src
+            for hop in topo.route(src, dst):
+                assert hop.node == node
+                assert hop.bit in (0, 1)
+                node = ((node << 1) | hop.bit) % topo.n_switches
+            assert node == dst
+
+
+def test_hop_count_is_minimal():
+    """No shorter shuffle-exchange path exists than the one returned."""
+    topo = CircularOmegaTopology(8)
+    s = topo.n_switches
+    for src in range(8):
+        # BFS over the shuffle graph gives ground-truth distances.
+        dist = {src: 0}
+        frontier = [src]
+        while frontier:
+            nxt = []
+            for node in frontier:
+                for bit in (0, 1):
+                    succ = ((node << 1) | bit) % s
+                    if succ not in dist:
+                        dist[succ] = dist[node] + 1
+                        nxt.append(succ)
+            frontier = nxt
+        for dst in range(8):
+            assert topo.hop_count(src, dst) == dist[dst]
+
+
+def test_latency_is_hops_plus_one():
+    topo = CircularOmegaTopology(64)
+    assert topo.latency_cycles(0, 1) == topo.hop_count(0, 1) + 1
+
+
+def test_out_of_range_pe_rejected():
+    topo = CircularOmegaTopology(8)
+    with pytest.raises(RoutingError):
+        topo.route(0, 8)
+    with pytest.raises(RoutingError):
+        topo.hop_count(-1, 0)
+
+
+def test_mean_hops_bounded_by_stages():
+    topo = CircularOmegaTopology(64)
+    assert 0 < topo.mean_hops() <= topo.tag_bits
+
+
+def test_prototype_80_pes_routes_everywhere():
+    topo = CircularOmegaTopology(80)
+    for src in (0, 41, 79):
+        for dst in (0, 17, 79):
+            assert 0 <= topo.hop_count(src, dst) <= topo.tag_bits
+
+
+def test_graph_matches_topology():
+    nx = pytest.importorskip("networkx")
+    topo = CircularOmegaTopology(8)
+    g = topo.graph()
+    assert g.number_of_nodes() == topo.n_switches
+    assert g.number_of_edges() == 2 * topo.n_switches
+    # Every route is a walk in the graph.
+    for hop in topo.route(1, 6):
+        succ = ((hop.node << 1) | hop.bit) % topo.n_switches
+        assert g.has_edge(hop.node, succ)
+
+
+@given(st.integers(min_value=1, max_value=130), st.data())
+def test_routing_reaches_destination_property(n_pes, data):
+    topo = CircularOmegaTopology(n_pes)
+    src = data.draw(st.integers(0, n_pes - 1))
+    dst = data.draw(st.integers(0, n_pes - 1))
+    node = src
+    for hop in topo.route(src, dst):
+        node = ((node << 1) | hop.bit) % topo.n_switches
+    assert node == dst
+    assert topo.hop_count(src, dst) <= topo.tag_bits

@@ -1,0 +1,63 @@
+"""Global-address encoding tests (incl. hypothesis round trip)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.packet import GlobalAddress, decode_address, encode_address
+from repro.packet.address import OFFSET_BITS
+
+
+def test_encode_decode_simple():
+    word = encode_address(3, 42)
+    assert decode_address(word) == GlobalAddress(3, 42)
+
+
+def test_encoding_is_pe_major():
+    assert encode_address(1, 0) > encode_address(0, (1 << OFFSET_BITS) - 1)
+
+
+def test_pointer_arithmetic():
+    ga = GlobalAddress(2, 10)
+    assert ga + 5 == GlobalAddress(2, 15)
+    assert (ga + 5).packed() == encode_address(2, 15)
+
+
+def test_negative_pe_rejected():
+    with pytest.raises(AddressError):
+        encode_address(-1, 0)
+
+
+def test_offset_out_of_field_rejected():
+    with pytest.raises(AddressError):
+        encode_address(0, 1 << OFFSET_BITS)
+    with pytest.raises(AddressError):
+        encode_address(0, -1)
+
+
+def test_decode_negative_rejected():
+    with pytest.raises(AddressError):
+        decode_address(-5)
+
+
+def test_repr_is_compact():
+    assert repr(GlobalAddress(1, 2)) == "ga(pe=1, off=2)"
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 16),
+    st.integers(min_value=0, max_value=(1 << OFFSET_BITS) - 1),
+)
+def test_roundtrip_property(pe, offset):
+    assert decode_address(encode_address(pe, offset)) == (pe, offset)
+
+
+@given(
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=1 << 20),
+    st.integers(min_value=0, max_value=1 << 10),
+)
+def test_packed_addition_commutes(pe, offset, delta):
+    """(ga + d).packed() == packed(pe, offset + d)."""
+    assert (GlobalAddress(pe, offset) + delta).packed() == encode_address(pe, offset + delta)

@@ -1,0 +1,59 @@
+"""Packet record tests: widths, slots, validation."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.packet import Packet, PacketKind, Priority
+
+
+def mk(**kw):
+    defaults = dict(kind=PacketKind.READ_REQ, src=0, dst=1)
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+def test_default_packet_is_two_words():
+    assert mk().words == 2
+
+
+def test_slots_standard_packet():
+    # One 2-word packet occupies one port slot of N cycles.
+    assert mk().slots(2) == 2
+    assert mk().slots(3) == 3
+
+
+def test_slots_wide_packet_scales():
+    wide = mk(kind=PacketKind.BLOCK_READ_REPLY, words=8)
+    assert wide.slots(2) == 8  # four 2-word packets at 2 cycles each
+
+
+def test_slots_odd_word_count_rounds_up():
+    odd = mk(kind=PacketKind.INVOKE, words=5)
+    assert odd.slots(2) == 6  # ceil(5/2) = 3 packets
+
+
+def test_negative_endpoints_rejected():
+    with pytest.raises(PacketError):
+        mk(src=-1)
+    with pytest.raises(PacketError):
+        mk(dst=-2)
+
+
+def test_sub_two_word_packet_rejected():
+    with pytest.raises(PacketError):
+        mk(words=1)
+
+
+def test_sequence_numbers_unique_and_increasing():
+    a, b = mk(), mk()
+    assert b.seq > a.seq
+
+
+def test_priority_levels():
+    assert Priority.HIGH < Priority.NORMAL  # high sorts first
+    assert mk().priority is Priority.NORMAL
+
+
+def test_all_kinds_constructible():
+    for kind in PacketKind:
+        assert mk(kind=kind).kind is kind

@@ -1,0 +1,152 @@
+"""Unit tests of the reproduction shape checkers on synthetic data."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    check_efficiency_bands,
+    check_fig6_minimum,
+    check_fig8_components,
+    check_fig9_orderings,
+)
+
+
+# ----------------------------------------------------------------------
+# Fig. 6 minimum
+# ----------------------------------------------------------------------
+def test_fig6_good_curve_passes():
+    curve = {1: 100.0, 2: 40.0, 4: 35.0, 8: 50.0, 16: 80.0}
+    assert check_fig6_minimum(curve) == []
+
+
+def test_fig6_minimum_too_late_flagged():
+    curve = {1: 100.0, 2: 90.0, 4: 60.0, 8: 30.0, 16: 20.0}
+    problems = check_fig6_minimum(curve)
+    assert any("minimum at h=16" in p for p in problems)
+
+
+def test_fig6_no_improvement_flagged():
+    curve = {1: 10.0, 2: 12.0, 4: 15.0, 16: 30.0}
+    problems = check_fig6_minimum(curve, optimum=(1, 16), require_rise=False)
+    assert any("no improvement" in p for p in problems)
+
+
+def test_fig6_no_rise_flagged():
+    curve = {1: 100.0, 2: 40.0, 4: 30.0, 16: 30.0}
+    assert any("rise" in p for p in check_fig6_minimum(curve))
+    assert check_fig6_minimum(curve, require_rise=False) == []
+
+
+def test_fig6_needs_baseline_and_points():
+    with pytest.raises(ConfigError):
+        check_fig6_minimum({2: 1.0, 4: 2.0, 8: 3.0})
+    with pytest.raises(ConfigError):
+        check_fig6_minimum({1: 1.0, 2: 2.0})
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 bands
+# ----------------------------------------------------------------------
+GOOD_SORT = {1: 0.0, 2: 0.5, 4: 0.6, 16: -0.5}
+GOOD_FFT = {1: 0.0, 2: 0.96, 4: 0.97, 16: 0.95}
+
+
+def test_bands_good_case():
+    assert check_efficiency_bands(GOOD_SORT, GOOD_FFT) == []
+
+
+def test_bands_fft_floor_violation():
+    bad_fft = {1: 0.0, 2: 0.5, 4: 0.6, 16: 0.7}
+    problems = check_efficiency_bands(GOOD_SORT, bad_fft)
+    assert any("below" in p for p in problems)
+
+
+def test_bands_no_collapse_flagged():
+    """Sorting staying as good as FFT at the top thread count fails."""
+    too_good_sort = {1: 0.0, 2: 0.95, 4: 0.96, 16: 0.94}
+    problems = check_efficiency_bands(too_good_sort, GOOD_FFT)
+    assert any("collapse" in p for p in problems)
+
+
+def test_bands_no_decline_flagged():
+    """Sorting must fall from its peak toward 16 threads."""
+    monotone_sort = {1: 0.0, 2: 0.3, 4: 0.5, 16: 0.6}
+    problems = check_efficiency_bands(monotone_sort, GOOD_FFT)
+    assert any("decline" in p for p in problems)
+
+
+def test_bands_nonzero_baseline_flagged():
+    bad = {1: 0.1, 2: 0.5, 4: 0.6}
+    problems = check_efficiency_bands(bad, GOOD_FFT)
+    assert any("zero" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 components
+# ----------------------------------------------------------------------
+def mk_panel(rows):
+    return {
+        h: dict(zip(("computation", "overhead", "communication", "switching"), row))
+        for h, row in rows.items()
+    }
+
+
+def test_fig8_good_sort_panel():
+    panel = mk_panel({1: (30, 5, 55, 10), 4: (40, 5, 35, 20), 16: (30, 5, 25, 40)})
+    assert check_fig8_components(panel, "sort") == []
+
+
+def test_fig8_sum_violation():
+    panel = mk_panel({1: (30, 5, 55, 9), 4: (40, 5, 35, 20), 16: (30, 5, 25, 40)})
+    assert any("sum" in p for p in check_fig8_components(panel, "sort"))
+
+
+def test_fig8_switching_growth_required():
+    panel = mk_panel({1: (30, 5, 25, 40), 4: (40, 5, 35, 20), 16: (45, 5, 40, 10)})
+    assert any("switching" in p for p in check_fig8_components(panel, "sort"))
+
+
+def test_fig8_fft_computation_floor():
+    panel = mk_panel({1: (50, 5, 35, 10), 4: (50, 5, 25, 20), 16: (40, 5, 25, 30)})
+    assert any("computation-dominated" in p for p in check_fig8_components(panel, "fft"))
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 orderings
+# ----------------------------------------------------------------------
+def mk_switch_panel(rows):
+    return {
+        h: dict(zip(("remote_read", "iter_sync", "thread_sync"), row))
+        for h, row in rows.items()
+    }
+
+
+def test_fig9_good_panel():
+    panel = mk_switch_panel({1: (1000, 50, 0), 4: (1000, 200, 30), 16: (1000, 900, 100)})
+    assert check_fig9_orderings(panel, "sort", small_problem=True) == []
+
+
+def test_fig9_remote_read_must_be_flat():
+    panel = mk_switch_panel({1: (1000, 50, 0), 4: (1500, 200, 30), 16: (2000, 900, 100)})
+    assert any("remote-read" in p for p in check_fig9_orderings(panel, "sort", False))
+
+
+def test_fig9_iter_sync_must_grow():
+    panel = mk_switch_panel({1: (1000, 500, 0), 4: (1000, 300, 30), 16: (1000, 100, 50)})
+    assert any("grow" in p for p in check_fig9_orderings(panel, "sort", False))
+
+
+def test_fig9_fft_thread_sync_must_vanish():
+    panel = mk_switch_panel({1: (1000, 100, 0), 16: (1000, 800, 200)})
+    assert any("FFT" in p for p in check_fig9_orderings(panel, "fft", False))
+
+
+def test_fig9_sort_needs_thread_sync():
+    panel = mk_switch_panel({1: (1000, 100, 0), 16: (1000, 800, 0)})
+    assert any("thread-sync" in p for p in check_fig9_orderings(panel, "sort", False))
+
+
+def test_fig9_small_problem_crossover():
+    panel = mk_switch_panel({1: (1000, 10, 0), 16: (1000, 20, 5)})
+    problems = check_fig9_orderings(panel, "sort", small_problem=True)
+    assert any("rival" in p for p in problems)

@@ -1,0 +1,50 @@
+"""Clock and time-conversion unit tests."""
+
+import pytest
+
+from repro.config import CLOCK_HZ
+from repro.errors import SimulationError
+from repro.sim import Clock, cycles_to_seconds, seconds_to_cycles
+
+
+def test_clock_starts_at_zero():
+    assert Clock().now == 0
+
+
+def test_clock_custom_start():
+    assert Clock(10).now == 10
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(SimulationError):
+        Clock(-1)
+
+
+def test_clock_advances_forward():
+    c = Clock()
+    c.advance_to(5)
+    c.advance_to(5)  # same-time advance is legal
+    c.advance_to(9)
+    assert c.now == 9
+
+
+def test_clock_rejects_backwards():
+    c = Clock(7)
+    with pytest.raises(SimulationError):
+        c.advance_to(6)
+
+
+def test_cycle_seconds_is_50ns():
+    assert cycles_to_seconds(1) == pytest.approx(50e-9)
+    assert CLOCK_HZ == 20_000_000
+
+
+def test_seconds_cycles_roundtrip():
+    for cycles in (0, 1, 17, 12345, 10**9):
+        assert seconds_to_cycles(cycles_to_seconds(cycles)) == cycles
+
+
+def test_now_seconds_tracks_now():
+    c = Clock()
+    c.advance_to(20_000_000)  # one simulated second at 20 MHz
+    assert c.now_seconds == pytest.approx(1.0)

@@ -1,0 +1,111 @@
+"""Tracing subsystem: event capture and timeline rendering."""
+
+import pytest
+
+from repro import EMX, MachineConfig
+from repro.errors import SimulationError
+from repro.trace import TraceEvent, render_timeline, utilization
+
+
+def traced_machine():
+    m = EMX(MachineConfig(n_pes=2, memory_words=1 << 12, trace=True))
+
+    @m.thread
+    def worker(ctx, mate):
+        yield ctx.compute(20)
+        v = yield ctx.read(ctx.ga(mate, 0))
+        yield ctx.compute(v)
+
+    m.pes[0].memory.write(0, 10)
+    m.pes[1].memory.write(0, 10)
+    m.spawn(0, "worker", 1)
+    m.spawn(1, "worker", 0)
+    m.run()
+    return m
+
+
+def test_trace_disabled_by_default():
+    m = EMX(MachineConfig(n_pes=2, memory_words=1 << 12))
+
+    @m.thread
+    def worker(ctx):
+        yield ctx.compute(5)
+
+    m.spawn(0, "worker")
+    m.run()
+    assert m.traces() == {0: [], 1: []}
+
+
+def test_trace_records_bursts_and_idle():
+    m = traced_machine()
+    events = m.traces()[0]
+    kinds = {e.kind for e in events}
+    assert "burst" in kinds
+    assert "idle" in kinds  # the read wait shows up
+    for e in events:
+        assert e.end >= e.start
+    # Bursts carry the thread name.
+    assert any(e.label.startswith("worker@") for e in events if e.kind == "burst")
+
+
+def test_trace_spans_are_disjoint_and_ordered():
+    for pe, events in traced_machine().traces().items():
+        for a, b in zip(events, events[1:]):
+            assert a.end <= b.start, (pe, a, b)
+
+
+def test_em4_service_traced():
+    m = EMX(MachineConfig(n_pes=2, memory_words=1 << 12, trace=True, em4_mode=True))
+
+    @m.thread
+    def reader(ctx):
+        yield ctx.read(ctx.ga(1, 0))
+
+    m.spawn(0, "reader")
+    m.run()
+    assert any(e.kind == "service" for e in m.traces()[1])
+
+
+def test_event_validation():
+    with pytest.raises(SimulationError):
+        TraceEvent(5, 4, "burst")
+    with pytest.raises(SimulationError):
+        TraceEvent(0, 1, "nonsense")
+
+
+def test_utilization():
+    events = [
+        TraceEvent(0, 10, "burst"),
+        TraceEvent(10, 20, "idle"),
+        TraceEvent(20, 30, "burst"),
+    ]
+    assert utilization(events) == pytest.approx(2 / 3)
+    assert utilization([]) == 0.0
+    assert utilization([TraceEvent(5, 5, "burst")]) == 0.0
+
+
+def test_render_timeline_shape():
+    m = traced_machine()
+    out = render_timeline(m.traces(), width=40)
+    lines = out.splitlines()
+    assert lines[0].startswith("cycles 0..")
+    assert lines[1].startswith("PE  0 |") and lines[1].endswith("|")
+    assert lines[2].startswith("PE  1 |")
+    assert "legend" in lines[-1]
+    body = lines[1].split("|")[1]
+    assert len(body) == 40
+    assert "#" in body
+
+
+def test_render_timeline_window():
+    m = traced_machine()
+    out = render_timeline(m.traces(), width=16, start=0, end=30)
+    assert "cycles 0..30" in out
+
+
+def test_render_timeline_errors():
+    with pytest.raises(SimulationError):
+        render_timeline({0: [TraceEvent(0, 5, "burst")]}, width=4)
+    with pytest.raises(SimulationError):
+        render_timeline({0: [TraceEvent(0, 5, "burst")]}, start=5, end=5)
+    assert render_timeline({0: []}) == "(no trace events)"
