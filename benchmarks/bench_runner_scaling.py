@@ -1,0 +1,100 @@
+"""Execution-engine scaling: one fig6 panel at jobs ∈ {1, 2, 4}, cold vs warm.
+
+Reproduction target for the engine itself rather than the paper: a
+fixed Fig. 6(a) sweep must (a) produce identical records at every
+worker count, (b) cost near-zero wall clock on a warm cache with zero
+simulations executed, and (c) not regress the serial path.  The table
+written to ``out/runner_scaling.txt`` records cold and warm wall-clock
+per worker count; the timed subject is the cold ``jobs=2`` sweep, so
+``--benchmark-json`` output has the same shape as every other
+``bench_*`` module.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.runner import (
+    RunnerOptions,
+    expand_sweep,
+    reset_stats,
+    run_specs,
+    stats,
+)
+from repro.runner import sweep as sweep_mod
+from repro.metrics.report import format_table
+
+from conftest import BENCH_THREADS, publish
+
+JOBS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def panel_specs(scale):
+    """The fig6(a) sweep: sorting at P = p_small, one curve per size."""
+    specs = []
+    for npp in scale.sizes_for(scale.p_small):
+        specs.extend(expand_sweep("sort", scale.p_small, npp, BENCH_THREADS))
+    return specs
+
+
+@pytest.fixture()
+def scratch_memo():
+    """Run with an empty engine memo, restoring the shared one after."""
+    saved = dict(sweep_mod._memo)
+    sweep_mod._memo.clear()
+    yield
+    sweep_mod._memo.clear()
+    sweep_mod._memo.update(saved)
+
+
+def _timed_sweep(specs, options):
+    start = time.perf_counter()
+    records = run_specs(specs, options=options)
+    return records, time.perf_counter() - start
+
+
+def test_runner_scaling(benchmark, panel_specs, scratch_memo, outdir, tmp_path_factory):
+    rows = []
+    baseline = None
+    for jobs in JOBS:
+        opts = RunnerOptions(
+            jobs=jobs, cache_dir=str(tmp_path_factory.mktemp(f"runner-j{jobs}"))
+        )
+        sweep_mod._memo.clear()
+        cold_records, cold_s = _timed_sweep(panel_specs, opts)
+
+        sweep_mod._memo.clear()
+        reset_stats()
+        warm_records, warm_s = _timed_sweep(panel_specs, opts)
+
+        assert warm_records == cold_records, f"jobs={jobs}: warm != cold"
+        assert stats().executed == 0, f"jobs={jobs}: warm cache re-executed"
+        if baseline is None:
+            baseline = cold_records
+        else:
+            assert cold_records == baseline, f"jobs={jobs}: differs from jobs=1"
+        assert warm_s < cold_s, f"jobs={jobs}: warm cache not faster"
+        rows.append([jobs, len(panel_specs), round(cold_s, 3), round(warm_s, 3)])
+
+    publish(
+        outdir,
+        "runner_scaling",
+        format_table(
+            ["jobs", "sims", "cold [s]", "warm [s]"],
+            rows,
+            title="runner scaling: fig6(a) sweep, cold vs warm cache",
+        ),
+    )
+
+    # Timed subject: the cold parallel sweep at 2 workers.
+    def _cold_parallel():
+        sweep_mod._memo.clear()
+        opts = RunnerOptions(
+            jobs=2, cache_dir=str(tmp_path_factory.mktemp("runner-bench"))
+        )
+        return run_specs(panel_specs, options=opts)
+
+    benchmark.pedantic(_cold_parallel, rounds=1, iterations=1)

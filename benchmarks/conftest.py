@@ -8,23 +8,45 @@ Each ``bench_fig*.py`` module regenerates one figure of the paper: it
 sweeps the thread counts and data sizes at the active ``REPRO_SCALE``,
 writes the series as a text table under ``benchmarks/out/``, asserts the
 paper's qualitative shape, and benchmarks one representative simulation
-as the timed subject.  Runs are memoised process-wide, so Fig. 7 reuses
-Fig. 6's sweep and Figs. 8/9 share theirs.
+as the timed subject.
+
+Sweeps execute through the :mod:`repro.runner` engine rather than the
+old private memo: runs stay memoised process-wide (Fig. 7 reuses
+Fig. 6's sweep, Figs. 8/9 share theirs), persist to the on-disk result
+cache between harness invocations, and fan across a process pool.
+``REPRO_JOBS`` sets the worker count (default: all cores) and
+``REPRO_BENCH_CACHE=0`` disables the disk layer.  The timed subjects
+call the simulator directly, so caching never distorts a measurement.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.experiments import default_scale
+from repro.runner import configure
 
 #: Thread counts swept by the harness (a 6-point subset of the paper's
 #: 1..16 x-axis keeps the default run under ~15 minutes).
 BENCH_THREADS = (1, 2, 3, 4, 8, 16)
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runner_config():
+    """Route every sweep through the execution engine.
+
+    Parallelism comes from ``REPRO_JOBS`` (default: every core); the
+    on-disk result cache is on unless ``REPRO_BENCH_CACHE=0``, which is
+    what makes a re-run of the harness near-instant on the sweep side.
+    """
+    jobs = int(os.environ.get("REPRO_JOBS", "0") or 0) or (os.cpu_count() or 1)
+    use_cache = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+    return configure(jobs=jobs, use_cache=use_cache)
 
 
 @pytest.fixture(scope="session")

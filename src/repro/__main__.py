@@ -7,10 +7,17 @@ Usage::
     python -m repro fig8 b            # execution-time breakdown panel
     python -m repro fig9 d            # switch-count panel
     python -m repro micro             # µ1 latency + µ2 overhead probes
+    python -m repro sweep --jobs 8    # pre-run every figure in parallel
+    python -m repro export --out csv  # all figures as CSV (cached)
+    python -m repro cache stats       # inspect the on-disk result store
     python -m repro sort --pes 8 --size 128 --threads 4
     python -m repro fft  --pes 8 --size 128 --threads 4
 
 ``REPRO_SCALE`` (tiny | small | large) picks the figure size ladder.
+Figure-producing commands accept ``--jobs N`` (parallel simulation),
+``--cache-dir DIR`` and ``--no-cache``; results persist under
+``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``), so warm re-runs
+execute zero simulations.
 """
 
 from __future__ import annotations
@@ -38,7 +45,60 @@ from .metrics.counters import SwitchKind
 from .metrics.report import format_table
 
 
+def _add_runner_flags(parser: argparse.ArgumentParser, default_jobs: int | None = 1) -> None:
+    """Attach the execution-engine flags shared by figure commands."""
+    parser.add_argument(
+        "--jobs", type=int, default=default_jobs, metavar="N",
+        help="worker processes for simulations (default: %(default)s; "
+             "omitted value means all cores)")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk result cache (memoise in-process only)")
+
+
+def _progress_printer():
+    """A \\r-rewriting progress line on interactive stderr, else None."""
+    if not sys.stderr.isatty():
+        return None
+
+    def _print(status) -> None:
+        print(f"\r  {status.describe()}", end="", file=sys.stderr, flush=True)
+
+    return _print
+
+
+def _configure_runner(args: argparse.Namespace) -> None:
+    """Apply --jobs/--cache-dir/--no-cache to the process-global runner."""
+    import os
+
+    from .runner import configure
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    configure(
+        jobs=jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=_progress_printer(),
+    )
+
+
+def _runner_summary() -> str:
+    from .runner import get_options, stats
+
+    st = stats()
+    if sys.stderr.isatty():
+        print(file=sys.stderr)  # terminate the \r progress line
+    summary = f"runner: {st.describe()}"
+    if not get_options().use_cache:
+        summary += " (disk cache off)"
+    return summary
+
+
 def _cmd_figure(args: argparse.Namespace) -> None:
+    _configure_runner(args)
     scale = default_scale()
     panel = args.panel
     if args.figure in ("fig6", "fig7"):
@@ -76,9 +136,44 @@ def _cmd_micro(_args: argparse.Namespace) -> None:
 
 def _cmd_export(args: argparse.Namespace) -> None:
     from .experiments import export_all
+    from .runner import reset_stats
 
+    _configure_runner(args)
+    reset_stats()
     for path in export_all(args.outdir):
         print(f"wrote {path}")
+    print(_runner_summary())
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from .runner import FIGURES, ResultCache, get_options, reset_stats, sweep_figures
+    from .experiments.common import THREAD_SWEEP
+
+    _configure_runner(args)
+    reset_stats()
+    scale = default_scale()
+    threads = THREAD_SWEEP
+    if args.threads:
+        threads = tuple(int(h) for h in args.threads.split(","))
+    figures = tuple(args.figures) if args.figures else FIGURES
+    print(f"sweep: scale '{scale.name}', figures {', '.join(figures)}, "
+          f"threads {','.join(str(h) for h in threads)}, "
+          f"jobs {get_options().jobs}")
+    records = sweep_figures(scale, threads, figures)
+    print(f"{len(records)} distinct jobs; {_runner_summary()}")
+    if get_options().use_cache:
+        print(f"cache: {ResultCache(get_options().cache_dir).stats().describe()}")
+
+
+def _cmd_cache(args: argparse.Namespace) -> None:
+    from .runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(f"cache: {cache.stats().describe()}")
+    else:
+        dropped = cache.purge()
+        print(f"purged {dropped} entries from {cache.root}")
 
 
 def _cmd_goldens(args: argparse.Namespace) -> None:
@@ -132,14 +227,35 @@ def main(argv: list[str] | None = None) -> None:
         p.add_argument("panel", choices=sorted(panels))
         p.add_argument("--plot", action="store_true",
                        help="also draw an ASCII chart (fig6 only)")
+        _add_runner_flags(p)
         p.set_defaults(func=_cmd_figure, figure=fig)
 
     p = sub.add_parser("micro", help="run the point-measurement probes")
     p.set_defaults(func=_cmd_micro)
 
     p = sub.add_parser("export", help="regenerate all figures as CSV")
-    p.add_argument("--outdir", default="figures_csv")
+    p.add_argument("--out", "--outdir", dest="outdir", default="figures_csv",
+                   metavar="DIR", help="output directory (default: %(default)s)")
+    _add_runner_flags(p)
     p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "sweep",
+        help="pre-run every figure's simulations (parallel, cached, resumable)")
+    p.add_argument("--figures", nargs="+", metavar="FIG",
+                   choices=["fig6", "fig7", "fig8", "fig9"],
+                   help="restrict to these figures (default: all)")
+    p.add_argument("--threads", default=None, metavar="H,H,...",
+                   help="comma-separated thread counts "
+                        "(default: the paper's 1..16 sweep)")
+    _add_runner_flags(p, default_jobs=None)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or purge the on-disk result cache")
+    p.add_argument("action", choices=["stats", "purge"])
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    p.set_defaults(func=_cmd_cache)
 
     p = sub.add_parser("goldens", help="check or regenerate golden runs")
     p.add_argument("--write", metavar="DIR", help="write fresh goldens to DIR")

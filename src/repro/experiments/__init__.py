@@ -9,15 +9,18 @@
 * :mod:`~repro.experiments.shapes` — the qualitative shape checks that
   define reproduction success.
 
-All drivers share :mod:`~repro.experiments.common`'s cached sweep runner
-and its ``REPRO_SCALE`` size ladder (the paper's 128K–8M element runs are
-scaled down; see DESIGN.md §4).
+All drivers execute through the :mod:`repro.runner` engine (memoised
+per process, persisted to an on-disk result cache, parallel across a
+process pool when configured with ``jobs > 1``) and share
+:mod:`~repro.experiments.common`'s ``REPRO_SCALE`` size ladder (the
+paper's 128K–8M element runs are scaled down; see DESIGN.md §4).
 """
 
 from .common import (
     THREAD_SWEEP,
     ExperimentScale,
     RunRecord,
+    clear_cache,
     default_scale,
     run_app,
     sweep_threads,
@@ -39,6 +42,7 @@ __all__ = [
     "THREAD_SWEEP",
     "ExperimentScale",
     "RunRecord",
+    "clear_cache",
     "default_scale",
     "run_app",
     "sweep_threads",

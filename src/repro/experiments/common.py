@@ -15,8 +15,12 @@ scale      per-PE sizes             intended use
 ``large``  64 … 1024                overnight fidelity runs
 =========  =======================  =========================
 
-Runs are memoised per process so that Fig. 7 (efficiency) reuses the
-Fig. 6 sweep, and Fig. 8/9 reuse each other's runs.
+Execution is delegated to the :mod:`repro.runner` engine: every run is
+memoised per process (so Fig. 7 reuses the Fig. 6 sweep and Fig. 8/9
+reuse each other's runs), persisted to an on-disk result cache, and —
+when the runner is configured with ``jobs > 1`` — fanned across a
+process pool.  ``run_app`` / ``sweep_threads`` keep their historical
+signatures; they are thin shims over the engine.
 """
 
 from __future__ import annotations
@@ -25,10 +29,10 @@ import os
 from dataclasses import dataclass
 from typing import Literal
 
-from ..config import MachineConfig
-from ..errors import ConfigError, ProgramError
+from ..errors import ConfigError
 from ..metrics.counters import SwitchKind
-from ..apps import run_bitonic, run_fft
+from ..runner.jobs import JobSpec
+from ..runner.sweep import clear_memo, run_job, sweep_threads
 
 __all__ = [
     "THREAD_SWEEP",
@@ -122,12 +126,19 @@ class RunRecord:
         return dict(self.breakdown_pct)
 
 
-_cache: dict[tuple, RunRecord] = {}
+def clear_cache(disk: bool = False) -> None:
+    """Drop all memoised runs (tests use this to force fresh sweeps).
 
+    With ``disk=True`` the on-disk result cache (at the runner's active
+    cache root) is purged as well, so the next sweep re-executes every
+    simulation instead of rehydrating from disk.
+    """
+    clear_memo()
+    if disk:
+        from ..runner.cache import ResultCache
+        from ..runner.sweep import get_options
 
-def clear_cache() -> None:
-    """Drop all memoised runs (tests use this to force fresh sweeps)."""
-    _cache.clear()
+        ResultCache(get_options().cache_dir).purge()
 
 
 def run_app(
@@ -141,61 +152,19 @@ def run_app(
     priority_replies: bool = False,
     seed: int = 0,
 ) -> RunRecord:
-    """Run one workload configuration (memoised per process)."""
-    key = (app, n_pes, npp, h, em4_mode, network_model, priority_replies, seed)
-    hit = _cache.get(key)
-    if hit is not None:
-        return hit
+    """Run one workload configuration (memoised per process).
 
-    config = MachineConfig(
+    Delegates to the execution engine: memo first, then the on-disk
+    cache, then an in-process simulation.
+    """
+    spec = JobSpec(
+        app=app,
         n_pes=n_pes,
+        npp=npp,
+        h=h,
         em4_mode=em4_mode,
         network_model=network_model,
         priority_replies=priority_replies,
         seed=seed,
     )
-    n = n_pes * npp
-    if app == "sort":
-        result = run_bitonic(n_pes, n, h, config=config, seed=seed)
-        verified = result.sorted_ok
-    elif app == "fft":
-        result = run_fft(n_pes, n, h, config=config, seed=seed)
-        verified = result.verified
-    else:
-        raise ProgramError(f"unknown app {app!r}")
-    if not verified:
-        raise ProgramError(f"{app} run produced a wrong answer at {key}")
-
-    report = result.report
-    record = RunRecord(
-        app=app,
-        n_pes=n_pes,
-        npp=npp,
-        h=h,
-        runtime_seconds=report.runtime_seconds,
-        comm_seconds=report.comm_fig6_seconds,
-        comm_idle_seconds=report.comm_seconds,
-        breakdown_pct=tuple(sorted(report.breakdown.percentages().items())),
-        switches_per_pe=tuple(
-            (k.value, report.switches(k)) for k in SwitchKind
-        ),
-        verified=verified,
-        events=report.events_fired,
-    )
-    _cache[key] = record
-    return record
-
-
-def sweep_threads(
-    app: AppName,
-    n_pes: int,
-    npp: int,
-    threads: tuple[int, ...] = THREAD_SWEEP,
-    **kwargs,
-) -> dict[int, RunRecord]:
-    """Run one (app, P, n/P) configuration across a thread sweep.
-
-    Thread counts exceeding the per-PE element count are skipped, the
-    same constraint the hardware runs obeyed (h ≤ n/P).
-    """
-    return {h: run_app(app, n_pes, npp, h, **kwargs) for h in threads if h <= npp}
+    return run_job(spec)

@@ -13,6 +13,7 @@ import pathlib
 from typing import Iterable
 
 from ..errors import ConfigError
+from ..runner.sweep import sweep_figures
 from .common import THREAD_SWEEP, ExperimentScale, default_scale
 from .fig6 import PANELS as FIG6_PANELS
 from .fig6 import fig6_panel
@@ -77,7 +78,10 @@ def export_all(
 ) -> list[pathlib.Path]:
     """Regenerate the requested figures and write CSVs; returns paths.
 
-    Runs are memoised process-wide, so fig7 reuses fig6's sweeps and the
+    All required simulations are first satisfied through the execution
+    engine — on-disk cache hits cost nothing, and misses fan across the
+    process pool when the runner is configured with ``jobs > 1``.  Runs
+    stay memoised process-wide, so fig7 reuses fig6's sweeps and the
     combined file costs nothing extra.
     """
     unknown = set(figures) - set(_FIGS)
@@ -86,6 +90,10 @@ def export_all(
     scale = scale or default_scale()
     out = pathlib.Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
+
+    # Warm the memo for every distinct job up front (parallel on misses)
+    # so the per-figure row generators below are pure table-flattening.
+    sweep_figures(scale, threads, figures)
 
     written: list[pathlib.Path] = []
     all_rows: list[Row] = []

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from ..errors import ConfigError
 from ..metrics.report import format_table
-from .common import THREAD_SWEEP, ExperimentScale, default_scale, sweep_threads
+from ..runner.sweep import sweep_threads
+from .common import THREAD_SWEEP, ExperimentScale, default_scale
 
 __all__ = ["fig8_panel", "format_fig8", "PANELS"]
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 from ..errors import ConfigError
 from ..metrics.counters import SwitchKind
 from ..metrics.report import format_table
-from .common import THREAD_SWEEP, ExperimentScale, default_scale, sweep_threads
+from ..runner.sweep import sweep_threads
+from .common import THREAD_SWEEP, ExperimentScale, default_scale
 from .fig8 import PANELS
 
 __all__ = ["fig9_panel", "format_fig9", "SWITCH_KINDS"]

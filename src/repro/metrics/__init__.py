@@ -12,7 +12,14 @@ from .breakdown import Breakdown, aggregate_breakdown
 from .counters import Bucket, PECounters, SwitchKind
 from .overlap import overlap_efficiency, overlap_series
 from .report import format_table
-from .serialize import counters_to_dict, report_to_dict, report_to_json
+from .serialize import (
+    counters_to_dict,
+    report_to_dict,
+    report_to_json,
+    run_record_from_dict,
+    run_record_from_report,
+    run_record_to_dict,
+)
 
 __all__ = [
     "Bucket",
@@ -26,5 +33,8 @@ __all__ = [
     "counters_to_dict",
     "report_to_dict",
     "report_to_json",
+    "run_record_to_dict",
+    "run_record_from_dict",
+    "run_record_from_report",
     "plot_curves",
 ]

@@ -13,7 +13,14 @@ from typing import Any
 from ..errors import SimulationError
 from .counters import Bucket, PECounters, SwitchKind
 
-__all__ = ["counters_to_dict", "report_to_dict", "report_to_json"]
+__all__ = [
+    "counters_to_dict",
+    "report_to_dict",
+    "report_to_json",
+    "run_record_to_dict",
+    "run_record_from_dict",
+    "run_record_from_report",
+]
 
 
 def counters_to_dict(c: PECounters) -> dict[str, Any]:
@@ -64,6 +71,78 @@ def report_to_dict(report) -> dict[str, Any]:
         },
         "per_pe": [counters_to_dict(c) for c in report.counters],
     }
+
+
+def run_record_from_report(
+    app: str, n_pes: int, npp: int, h: int, report, verified: bool
+):
+    """Build the figure-facing ``RunRecord`` from a machine report.
+
+    The single packing point between the simulator's
+    :class:`~repro.machine.MachineReport` and the experiment layer's
+    :class:`~repro.experiments.common.RunRecord` — the sweep runner,
+    its worker processes, and any ad-hoc caller all share this mapping
+    so the two representations cannot drift apart.
+    """
+    from ..experiments.common import RunRecord  # lazy: avoids an import cycle
+
+    return RunRecord(
+        app=app,
+        n_pes=n_pes,
+        npp=npp,
+        h=h,
+        runtime_seconds=report.runtime_seconds,
+        comm_seconds=report.comm_fig6_seconds,
+        comm_idle_seconds=report.comm_seconds,
+        breakdown_pct=tuple(sorted(report.breakdown.percentages().items())),
+        switches_per_pe=tuple((k.value, report.switches(k)) for k in SwitchKind),
+        verified=verified,
+        events=report.events_fired,
+    )
+
+
+def run_record_to_dict(record) -> dict[str, Any]:
+    """A ``RunRecord`` as a JSON-safe dict (inverse of ``from_dict``)."""
+    return {
+        "app": record.app,
+        "n_pes": record.n_pes,
+        "npp": record.npp,
+        "h": record.h,
+        "runtime_seconds": record.runtime_seconds,
+        "comm_seconds": record.comm_seconds,
+        "comm_idle_seconds": record.comm_idle_seconds,
+        "breakdown_pct": [[name, pct] for name, pct in record.breakdown_pct],
+        "switches_per_pe": [[kind, count] for kind, count in record.switches_per_pe],
+        "verified": record.verified,
+        "events": record.events,
+    }
+
+
+def run_record_from_dict(payload: dict[str, Any]):
+    """Rebuild a ``RunRecord`` from :func:`run_record_to_dict` output.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed
+    payloads; the disk cache treats any of those as a miss.
+    """
+    from ..experiments.common import RunRecord  # lazy: avoids an import cycle
+
+    return RunRecord(
+        app=str(payload["app"]),
+        n_pes=int(payload["n_pes"]),
+        npp=int(payload["npp"]),
+        h=int(payload["h"]),
+        runtime_seconds=float(payload["runtime_seconds"]),
+        comm_seconds=float(payload["comm_seconds"]),
+        comm_idle_seconds=float(payload["comm_idle_seconds"]),
+        breakdown_pct=tuple(
+            (str(name), float(pct)) for name, pct in payload["breakdown_pct"]
+        ),
+        switches_per_pe=tuple(
+            (str(kind), float(count)) for kind, count in payload["switches_per_pe"]
+        ),
+        verified=bool(payload["verified"]),
+        events=int(payload["events"]),
+    )
 
 
 def report_to_json(report, indent: int | None = None) -> str:

@@ -1,0 +1,81 @@
+"""Execution engine: parallel, cached, resumable experiment runs.
+
+Every figure of the paper is a sweep over independent simulations, so
+regenerating them is a scheduling problem, not a sequencing one.  This
+package supplies the three pieces an experiment (or an inference stack)
+needs to exploit that:
+
+* :mod:`~repro.runner.jobs` — content-hashable :class:`JobSpec` values
+  and sweep-expansion helpers (the dedup layer),
+* :mod:`~repro.runner.cache` — an atomic, version-partitioned on-disk
+  result store (the memoisation layer),
+* :mod:`~repro.runner.pool` — a process-pool scheduler with per-job
+  timeouts and crash retry (the batching layer),
+
+glued together by :mod:`~repro.runner.sweep`, which the experiments
+package, the CLI (``python -m repro sweep``), and the benchmark harness
+all call.  A warm cache makes re-exports near-instant; a cold one
+scales with core count.
+"""
+
+from .cache import ENV_CACHE_DIR, CacheStats, ResultCache, default_cache_root
+from .jobs import (
+    FIGURES,
+    SCHEMA_VERSION,
+    JobSpec,
+    dedupe,
+    expand_figures,
+    expand_sweep,
+    machine_fingerprint,
+)
+from .pool import PoolStatus, run_jobs
+from .sweep import (
+    RunnerOptions,
+    RunStats,
+    clear_memo,
+    configure,
+    get_options,
+    memo_size,
+    reset_options,
+    reset_stats,
+    run_job,
+    run_specs,
+    stats,
+    sweep_figures,
+    sweep_threads,
+    using,
+)
+from .worker import JobTimeout, execute_job, run_job_worker
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "FIGURES",
+    "JobSpec",
+    "machine_fingerprint",
+    "dedupe",
+    "expand_sweep",
+    "expand_figures",
+    "ENV_CACHE_DIR",
+    "CacheStats",
+    "ResultCache",
+    "default_cache_root",
+    "PoolStatus",
+    "run_jobs",
+    "JobTimeout",
+    "execute_job",
+    "run_job_worker",
+    "RunnerOptions",
+    "RunStats",
+    "configure",
+    "get_options",
+    "reset_options",
+    "using",
+    "stats",
+    "reset_stats",
+    "clear_memo",
+    "memo_size",
+    "run_job",
+    "run_specs",
+    "sweep_threads",
+    "sweep_figures",
+]

@@ -1,0 +1,197 @@
+"""Content-addressed job specifications for the execution engine.
+
+Every simulation a figure needs is described by a :class:`JobSpec` — a
+frozen, hashable value object naming the workload (app, machine size,
+per-PE elements, thread count) and everything that could change the
+answer (machine policy switches, the RNG seed, and a fingerprint of the
+full :class:`~repro.config.MachineConfig` including its timing model).
+
+``JobSpec.key()`` is the content hash the on-disk cache files are named
+after.  Two properties make it safe:
+
+* **Completeness** — the hash covers the schema version, every workload
+  parameter, and the machine fingerprint, so a change to any timing
+  cost or policy default silently moves every job to a fresh key
+  instead of serving stale numbers.
+* **Stability** — the hash is computed from a canonical JSON encoding
+  (sorted keys, no whitespace variance), so the same spec hashes the
+  same across processes and Python versions.
+
+The expansion helpers turn a figure's sweep (or all figures at once)
+into a **deduplicated** job list: Fig. 7 reuses Fig. 6's runs and
+Figs. 8/9 share one sweep, exactly mirroring the per-process memo the
+experiments package has always relied on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+from ..config import MachineConfig
+from ..errors import ConfigError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JobSpec",
+    "machine_fingerprint",
+    "dedupe",
+    "expand_sweep",
+    "expand_figures",
+    "FIGURES",
+]
+
+#: Bump when the meaning of a cached result changes (new RunRecord
+#: fields, a recalibrated timing model, a simulator fix).  Every cached
+#: entry under the old version becomes unreachable — version-based
+#: invalidation instead of trusting mtimes.
+SCHEMA_VERSION = 1
+
+#: The figures the engine knows how to expand.  fig7 reuses fig6's runs
+#: and fig9 reuses fig8's, so their job sets are identical pairwise.
+FIGURES = ("fig6", "fig7", "fig8", "fig9")
+
+
+def machine_fingerprint(config: MachineConfig) -> str:
+    """A short stable digest of every field of a machine config.
+
+    Covers the nested :class:`~repro.config.TimingModel` too, so a
+    recalibrated cycle cost invalidates cached results without anyone
+    remembering to bump the schema version.
+    """
+    blob = json.dumps(asdict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, order=True)
+class JobSpec:
+    """One simulation the engine may run, memoise, or fetch from disk."""
+
+    app: str
+    n_pes: int
+    npp: int
+    h: int
+    em4_mode: bool = False
+    network_model: str = "detailed"
+    priority_replies: bool = False
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise on an unrunnable spec (unknown app, nonsense sizes)."""
+        if self.app not in ("sort", "fft"):
+            # ProgramError for compatibility with the pre-engine run_app.
+            from ..errors import ProgramError
+
+            raise ProgramError(f"unknown app {self.app!r}; expected 'sort' or 'fft'")
+        if self.n_pes < 1 or self.npp < 1 or self.h < 1:
+            raise ConfigError(f"n_pes/npp/h must be >= 1, got {self}")
+
+    def config(self) -> MachineConfig:
+        """The machine this job runs on (same construction `run_app` used)."""
+        return MachineConfig(
+            n_pes=self.n_pes,
+            em4_mode=self.em4_mode,
+            network_model=self.network_model,
+            priority_replies=self.priority_replies,
+            seed=self.seed,
+        )
+
+    def key(self) -> str:
+        """Content hash naming this job's cache entry (hex sha256)."""
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "app": self.app,
+            "n_pes": self.n_pes,
+            "npp": self.npp,
+            "h": self.h,
+            "seed": self.seed,
+            "machine": machine_fingerprint(self.config()),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for progress and error messages."""
+        extras = []
+        if self.em4_mode:
+            extras.append("em4")
+        if self.network_model != "detailed":
+            extras.append(self.network_model)
+        if self.priority_replies:
+            extras.append("prio")
+        if self.seed:
+            extras.append(f"seed={self.seed}")
+        suffix = f" [{','.join(extras)}]" if extras else ""
+        return f"{self.app} P={self.n_pes} n/P={self.npp} h={self.h}{suffix}"
+
+
+def dedupe(specs: Iterable[JobSpec]) -> list[JobSpec]:
+    """Drop duplicate specs, preserving first-seen order."""
+    return list(dict.fromkeys(specs))
+
+
+def expand_sweep(
+    app: str,
+    n_pes: int,
+    npp: int,
+    threads: Sequence[int],
+    *,
+    em4_mode: bool = False,
+    network_model: str = "detailed",
+    priority_replies: bool = False,
+    seed: int = 0,
+) -> list[JobSpec]:
+    """One (app, P, n/P) thread sweep as jobs, skipping h > n/P.
+
+    The skip mirrors the hardware constraint every figure driver
+    applies: a PE cannot run more threads than it holds elements.
+    """
+    return [
+        JobSpec(
+            app=app,
+            n_pes=n_pes,
+            npp=npp,
+            h=h,
+            em4_mode=em4_mode,
+            network_model=network_model,
+            priority_replies=priority_replies,
+            seed=seed,
+        )
+        for h in threads
+        if h <= npp
+    ]
+
+
+def expand_figures(
+    scale,
+    threads: Sequence[int],
+    figures: Sequence[str] = FIGURES,
+) -> list[JobSpec]:
+    """Every job the requested figures need, deduplicated.
+
+    ``scale`` is an :class:`~repro.experiments.common.ExperimentScale`;
+    imported lazily to keep this module free of experiment imports (the
+    experiments package itself imports the runner).
+    """
+    from ..experiments.fig6 import PANELS as FIG6_PANELS
+    from ..experiments.fig8 import PANELS as FIG8_PANELS
+
+    unknown = set(figures) - set(FIGURES)
+    if unknown:
+        raise ConfigError(f"unknown figures {sorted(unknown)}; valid: {sorted(FIGURES)}")
+
+    specs: list[JobSpec] = []
+    # Figs. 6 and 7 share one sweep per panel (fig7 is derived data).
+    if "fig6" in figures or "fig7" in figures:
+        for _, (app, which) in sorted(FIG6_PANELS.items()):
+            n_pes = getattr(scale, which)
+            for npp in scale.sizes_for(n_pes):
+                specs.extend(expand_sweep(app, n_pes, npp, threads))
+    # Figs. 8 and 9 share one sweep per panel at P = p_large.
+    if "fig8" in figures or "fig9" in figures:
+        for _, (app, size_role) in sorted(FIG8_PANELS.items()):
+            npp = scale.small_size if size_role == "small" else scale.large_size
+            specs.extend(expand_sweep(app, scale.p_large, npp, threads))
+    return dedupe(specs)

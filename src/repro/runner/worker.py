@@ -1,0 +1,97 @@
+"""Job execution: the code that actually runs one simulation.
+
+This module is what a pool worker process imports — it deliberately
+avoids importing the orchestration layers (``pool``, ``sweep``) so a
+forked worker touches only the simulator itself.  :func:`execute_job`
+is the single place a :class:`~repro.runner.jobs.JobSpec` turns into a
+:class:`~repro.experiments.common.RunRecord`; the serial path, the
+process pool, and the benchmark harness all funnel through it.
+
+A per-job wall-clock budget is enforced with ``SIGALRM`` *inside* the
+worker (:func:`deadline`), which keeps the scheduler simple: a job that
+exceeds its budget raises :class:`JobTimeout` in its own process and
+surfaces as an ordinary failed future, not a wedged pool.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+from ..apps import run_bitonic, run_fft
+from ..errors import ProgramError, SimulationError
+from ..metrics.serialize import run_record_from_report
+from .jobs import JobSpec
+
+__all__ = ["JobTimeout", "deadline", "execute_job", "run_job_worker"]
+
+
+class JobTimeout(SimulationError):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+@contextlib.contextmanager
+def deadline(seconds: float | None):
+    """Raise :class:`JobTimeout` if the block runs longer than ``seconds``.
+
+    Uses ``SIGALRM`` where available (main thread of a POSIX process —
+    exactly what a pool worker is); elsewhere, or with ``seconds=None``,
+    it is a no-op so the engine degrades gracefully rather than failing.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(_signum, _frame):
+        raise JobTimeout(f"job exceeded its {seconds:.0f}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    # ceil to a whole second: signal.alarm(0) would disarm, not expire.
+    signal.alarm(max(1, int(seconds + 0.999)))
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_job(spec: JobSpec):
+    """Run one simulation and return its ``RunRecord`` (no caching).
+
+    Raises :class:`ProgramError` if the workload produces a wrong
+    answer — a cached wrong answer would poison every later figure, so
+    verification happens before any caching layer sees the record.
+    """
+    spec.validate()
+    config = spec.config()
+    n = spec.n_pes * spec.npp
+    if spec.app == "sort":
+        result = run_bitonic(spec.n_pes, n, spec.h, config=config, seed=spec.seed)
+        verified = result.sorted_ok
+    elif spec.app == "fft":
+        result = run_fft(spec.n_pes, n, spec.h, config=config, seed=spec.seed)
+        verified = result.verified
+    else:  # pragma: no cover - validate() rejects this first
+        raise ProgramError(f"unknown app {spec.app!r}")
+    if not verified:
+        raise ProgramError(f"{spec.app} run produced a wrong answer at {spec.describe()}")
+    return run_record_from_report(
+        spec.app, spec.n_pes, spec.npp, spec.h, result.report, verified
+    )
+
+
+def run_job_worker(spec: JobSpec, timeout: float | None = None):
+    """Pool entry point: execute one job under its wall-clock budget.
+
+    Top-level (picklable) by design — ``ProcessPoolExecutor`` ships it
+    to worker processes by qualified name.
+    """
+    with deadline(timeout):
+        return execute_job(spec)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import EMX, MachineConfig
@@ -23,3 +25,35 @@ def machine16() -> EMX:
 def _tiny_scale(monkeypatch):
     """Default every test to the tiny experiment scale."""
     monkeypatch.setenv("REPRO_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the runner's disk cache at a session-temporary root.
+
+    Keeps the suite hermetic: no test reads results a developer's
+    ``~/.cache/repro`` happens to hold, and no test pollutes it.
+    """
+    root = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    yield root
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+@pytest.fixture(autouse=True)
+def _default_runner_options():
+    """Reset the process-global runner options around every test.
+
+    CLI and runner tests call ``configure(...)``; without this, a
+    leaked ``jobs=4`` or ``use_cache=False`` would silently change how
+    later tests execute their sweeps.
+    """
+    from repro.runner import reset_options
+
+    reset_options()
+    yield
+    reset_options()
