@@ -12,6 +12,8 @@ Usage::
     python -m repro cache stats       # inspect the on-disk result store
     python -m repro sort --pes 8 --size 128 --threads 4
     python -m repro fft  --pes 8 --size 128 --threads 4
+    python -m repro sort --timeline    # ASCII per-PE activity timeline
+    python -m repro trace fft --out run.perfetto.json  # Perfetto trace
 
 ``REPRO_SCALE`` (tiny | small | large) picks the figure size ladder.
 Figure-producing commands accept ``--jobs N`` (parallel simulation),
@@ -57,6 +59,10 @@ def _add_runner_flags(parser: argparse.ArgumentParser, default_jobs: int | None 
     parser.add_argument(
         "--no-cache", action="store_true",
         help="skip the on-disk result cache (memoise in-process only)")
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a Perfetto trace per executed job under DIR "
+             "(cache hits produce no trace; off by default)")
 
 
 def _progress_printer():
@@ -82,6 +88,7 @@ def _configure_runner(args: argparse.Namespace) -> None:
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         progress=_progress_printer(),
+        trace_dir=getattr(args, "trace_dir", None),
     )
 
 
@@ -194,25 +201,90 @@ def _cmd_goldens(args: argparse.Namespace) -> None:
 
 def _cmd_app(args: argparse.Namespace) -> None:
     runner = run_bitonic if args.app == "sort" else run_fft
-    result = runner(n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed)
+    kwargs: dict = {}
+    recorder = None
+    if args.trace:
+        from .obs import EventBus, RingRecorder
+
+        bus = EventBus()
+        recorder = RingRecorder(bus)
+        kwargs["obs"] = bus
+    if args.timeline:
+        from .config import MachineConfig
+
+        kwargs["config"] = MachineConfig(trace=True)
+    result = runner(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
+                    seed=args.seed, **kwargs)
     ok = result.sorted_ok if args.app == "sort" else result.verified
     report = result.report
     if args.json:
         from .metrics import report_to_json
 
         print(report_to_json(report, indent=2))
-        if not ok:
-            sys.exit(1)
-        return
+    else:
+        print(f"{args.app}: n={args.pes * args.size} P={args.pes} h={args.threads} "
+              f"-> {'OK' if ok else 'WRONG RESULT'}")
+        print(f"runtime {report.runtime_cycles} cycles "
+              f"({report.runtime_seconds * 1e6:.1f} us); "
+              f"communication {report.comm_fig6_seconds * 1e6:.1f} us")
+        pct = report.breakdown.percentages()
+        print("breakdown: " + ", ".join(f"{k} {v:.1f}%" for k, v in pct.items()))
+        print("switches/PE: " + ", ".join(
+            f"{k.value} {report.switches(k):.0f}" for k in SwitchKind))
+        print(f"network: {report.network.summary()}")
+    if args.timeline:
+        from .trace import render_timeline
+
+        print(render_timeline(report.traces, start=0, end=report.runtime_cycles))
+    if recorder is not None:
+        from .obs import write_perfetto
+
+        write_perfetto(args.trace, recorder.events, n_pes=args.pes)
+        dropped = f", {recorder.dropped} dropped" if recorder.dropped else ""
+        print(f"wrote {args.trace} ({len(recorder)} events{dropped}) "
+              f"-- open in ui.perfetto.dev", file=sys.stderr)
+    if not ok:
+        sys.exit(1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    from .apps import run_emc_bitonic, run_transpose_sort
+    from .obs import (
+        EventBus,
+        RingRecorder,
+        format_switch_table,
+        packet_spans,
+        switch_table,
+        write_perfetto,
+    )
+
+    runners = {
+        "sort": run_bitonic,
+        "fft": run_fft,
+        "transpose": run_transpose_sort,
+        "emc-sort": run_emc_bitonic,
+    }
+    bus = EventBus()
+    recorder = RingRecorder(bus, capacity=args.buffer)
+    result = runners[args.app](
+        args.pes, args.pes * args.size, args.threads, seed=args.seed, obs=bus
+    )
+    ok = result.verified if args.app == "fft" else result.sorted_ok
+    report = result.report
+    write_perfetto(args.out, recorder.events, n_pes=args.pes)
+
+    spans = packet_spans(recorder.events)
+    dropped = f" ({recorder.dropped} dropped)" if recorder.dropped else ""
     print(f"{args.app}: n={args.pes * args.size} P={args.pes} h={args.threads} "
-          f"-> {'OK' if ok else 'WRONG RESULT'}")
-    print(f"runtime {report.runtime_cycles} cycles "
-          f"({report.runtime_seconds * 1e6:.1f} us); "
-          f"communication {report.comm_fig6_seconds * 1e6:.1f} us")
-    pct = report.breakdown.percentages()
-    print("breakdown: " + ", ".join(f"{k} {v:.1f}%" for k, v in pct.items()))
-    print("switches/PE: " + ", ".join(
-        f"{k.value} {report.switches(k):.0f}" for k in SwitchKind))
+          f"-> {'OK' if ok else 'WRONG RESULT'}; "
+          f"runtime {report.runtime_cycles} cycles")
+    print(f"recorded {len(recorder)} events{dropped}, "
+          f"{len(spans)} packet lifecycles")
+    print(f"network: {report.network.summary()}")
+    print()
+    print("context switches by kind (paper Tables 3/4):")
+    print(format_switch_table(switch_table(recorder.events)))
+    print(f"\nwrote {args.out} -- open in ui.perfetto.dev")
     if not ok:
         sys.exit(1)
 
@@ -269,7 +341,25 @@ def main(argv: list[str] | None = None) -> None:
         p.add_argument("--threads", type=int, default=4)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--json", action="store_true", help="emit the full report as JSON")
+        p.add_argument("--timeline", action="store_true",
+                       help="render an ASCII per-PE activity timeline")
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="record the run and write a Perfetto trace to FILE")
         p.set_defaults(func=_cmd_app, app=app)
+
+    p = sub.add_parser(
+        "trace",
+        help="run one app under the event recorder and export a Perfetto trace")
+    p.add_argument("app", choices=["sort", "fft", "transpose", "emc-sort"])
+    p.add_argument("--out", default="run.perfetto.json", metavar="FILE",
+                   help="output path (default: %(default)s)")
+    p.add_argument("--pes", type=int, default=8)
+    p.add_argument("--size", type=int, default=64, help="elements per PE")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--buffer", type=int, default=1_000_000, metavar="N",
+                   help="ring-buffer capacity in events (default: %(default)s)")
+    p.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     args.func(args)

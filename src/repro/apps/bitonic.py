@@ -224,6 +224,7 @@ def run_bitonic(
     seed: int = 0,
     verify: bool = True,
     block_reads: bool = False,
+    obs=None,
 ) -> BitonicResult:
     """Sort ``n`` integers on ``n_pes`` processors with ``h`` threads each.
 
@@ -242,7 +243,7 @@ def run_bitonic(
 
     kernel = kernel or KERNEL_COSTS
     kernel.validate()
-    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes))
+    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes), obs=obs)
     machine.register(bitonic_worker)
     barrier = machine.make_barrier(h)
     schedule = reference_bitonic_schedule(n_pes)

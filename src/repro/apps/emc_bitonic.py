@@ -182,6 +182,7 @@ def run_emc_bitonic(
     data: list[int] | None = None,
     seed: int = 0,
     verify: bool = True,
+    obs=None,
 ) -> EmcBitonicResult:
     """Sort ``n`` integers with the EM-C implementation.
 
@@ -200,7 +201,7 @@ def run_emc_bitonic(
     if not (1 <= h <= npp):
         raise ProgramError(f"thread count {h} must be in 1..{npp}")
 
-    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes))
+    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes), obs=obs)
     barrier = machine.make_barrier(h)
     tokens = [OrderToken() for _ in range(n_pes)]
 

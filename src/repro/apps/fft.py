@@ -162,6 +162,7 @@ def run_fft(
     comm_stages_only: bool = True,
     verify: bool = True,
     tolerance: float = 1e-6,
+    obs=None,
 ) -> FFTResult:
     """Transform ``n`` points on ``n_pes`` processors with ``h`` threads each.
 
@@ -182,7 +183,7 @@ def run_fft(
 
     kernel = kernel or KERNEL_COSTS
     kernel.validate()
-    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes))
+    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes), obs=obs)
     machine.register(fft_worker)
     barrier = machine.make_barrier(h)
 

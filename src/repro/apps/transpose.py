@@ -144,6 +144,7 @@ def run_transpose_sort(
     data: list[int] | None = None,
     seed: int = 0,
     verify: bool = True,
+    obs=None,
 ) -> TransposeResult:
     """Sort ``n`` integers with odd-even transposition over ``n_pes`` PEs.
 
@@ -163,7 +164,7 @@ def run_transpose_sort(
 
     kernel = kernel or KERNEL_COSTS
     kernel.validate()
-    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes))
+    machine = EMX((config or MachineConfig()).with_(n_pes=n_pes), obs=obs)
     machine.register(transpose_worker)
     barrier = machine.make_barrier(h)
     rounds = n_pes  # odd-even transposition needs P rounds

@@ -37,7 +37,7 @@ class ThreadState(enum.Enum):
 class EMThread:
     """One fine-grain thread bound to a processor."""
 
-    __slots__ = ("tid", "pe", "frame", "gen", "state", "name", "started", "bursts")
+    __slots__ = ("tid", "pe", "frame", "gen", "state", "name", "started", "bursts", "on_transition")
 
     def __init__(self, tid: int, pe: int, frame: ActivationFrame, gen: GuestGen, name: str = "") -> None:
         self.tid = tid
@@ -48,6 +48,10 @@ class EMThread:
         self.name = name or f"t{tid}"
         self.started = False
         self.bursts = 0
+        #: Optional observer ``(thread, new_state) -> None``, called after
+        #: every legal transition (installed by the machine when
+        #: observability is enabled; ``None`` costs one test per switch).
+        self.on_transition = None
 
     def transition(self, new: ThreadState) -> None:
         """Move to ``new``, enforcing the legal state graph."""
@@ -72,6 +76,8 @@ class EMThread:
                 f"illegal thread transition {self.state.value} -> {new.value} for {self.name}"
             )
         self.state = new
+        if self.on_transition is not None:
+            self.on_transition(self, new)
 
     @property
     def alive(self) -> bool:

@@ -34,6 +34,8 @@ from ..metrics.breakdown import Breakdown, aggregate_breakdown
 from ..metrics.counters import PECounters, SwitchKind
 from ..network import build_network
 from ..network.stats import NetworkStats
+from ..obs.bus import EventBus
+from ..obs.events import BarrierEvent, ThreadLife
 from ..packet import Packet, PacketKind
 from ..processor import EMCYProcessor
 from ..processor.exu import _invoke_words
@@ -51,6 +53,8 @@ class MachineReport:
     events_fired: int
     counters: list[PECounters]
     network: NetworkStats
+    #: Per-PE burst traces (populated when ``MachineConfig.trace`` is on).
+    traces: dict[int, list] | None = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -90,11 +94,16 @@ class MachineReport:
 class EMX:
     """A simulated EM-X multiprocessor."""
 
-    def __init__(self, config: MachineConfig | None = None) -> None:
+    def __init__(
+        self, config: MachineConfig | None = None, obs: EventBus | None = None
+    ) -> None:
         self.config = config or MachineConfig()
         self.config.validate()
+        #: Observability bus (``None`` = tracing off; every emit site in
+        #: the model guards on exactly this attribute being non-None).
+        self.obs = obs
         self.engine = Engine(self.config.max_cycles)
-        self.network = build_network(self.engine, self.config)
+        self.network = build_network(self.engine, self.config, obs=obs)
         self.registry = ProgramRegistry()
         self.live_threads = 0
         self._next_tid = 0
@@ -146,11 +155,22 @@ class EMX:
         ctx = ThreadCtx(pe, self.config.n_pes, proc.memory, proc.guest_state, self._next_tid)
         gen = func(ctx, *args) if cont is None else func(ctx, *args, cont)
         thread = EMThread(self._next_tid, pe, frame, gen, name=f"{func_name}@{pe}")
+        if self.obs is not None:
+            thread.on_transition = self._emit_thread_transition
+            self.obs.emit(
+                ThreadLife(self.engine.now, pe, thread.tid, thread.name, "created")
+            )
         self._next_tid += 1
         self.live_threads += 1
         proc.live_threads += 1
         proc.counters.threads_started += 1
         return thread
+
+    def _emit_thread_transition(self, thread: EMThread, new) -> None:
+        """Thread-state hook (installed only when observability is on)."""
+        self.obs.emit(
+            ThreadLife(self.engine.now, thread.pe, thread.tid, thread.name, new.value)
+        )
 
     # ------------------------------------------------------------------
     # Barriers
@@ -187,12 +207,18 @@ class EMX:
         """IBU hook: a SYNC_ARRIVE packet reached the hub."""
         barrier_id, gen = pkt.data
         bar = self._barriers[barrier_id]
+        if self.obs is not None:
+            self.obs.emit(
+                BarrierEvent(self.engine.now, pkt.src, barrier_id, gen, "hub")
+            )
         if bar.hub_arrive(gen):
             bar.broadcast_release(gen)
 
     def barrier_release(self, pe: int, pkt: Packet) -> None:
         """IBU hook: a SYNC_RELEASE packet reached a member PE."""
         barrier_id, gen = pkt.data
+        if self.obs is not None:
+            self.obs.emit(BarrierEvent(self.engine.now, pe, barrier_id, gen, "release"))
         self._barriers[barrier_id].release(pe, gen)
 
     # ------------------------------------------------------------------
@@ -210,6 +236,7 @@ class EMX:
             events_fired=self.engine.events_fired,
             counters=[p.counters for p in self.pes],
             network=self.network.stats,
+            traces=self.traces() if self.config.trace else None,
         )
 
     def traces(self) -> dict[int, list]:

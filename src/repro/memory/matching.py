@@ -20,12 +20,26 @@ __all__ = ["MatchingMemory"]
 class MatchingMemory:
     """Parked first operands, keyed by (frame_id, slot)."""
 
-    __slots__ = ("_parked", "matches", "parks")
+    __slots__ = ("_parked", "matches", "parks", "_obs", "_pe", "_clock")
 
     def __init__(self) -> None:
         self._parked: dict[tuple[int, int], Any] = {}
         self.matches = 0
         self.parks = 0
+        self._obs = None
+        self._pe = 0
+        self._clock = None
+
+    def attach_obs(self, obs, pe: int, clock) -> None:
+        """Install the observability sink (processor construction time).
+
+        ``clock`` is the machine clock, read at each park/match so the
+        emitted :class:`~repro.obs.events.MatchEvent` carries the cycle
+        the token actually moved.
+        """
+        self._obs = obs
+        self._pe = pe
+        self._clock = clock
 
     def offer(self, frame_id: int, slot: int, value: Any) -> tuple[Any, Any] | None:
         """Offer one operand token.
@@ -37,10 +51,19 @@ class MatchingMemory:
         if key in self._parked:
             first = self._parked.pop(key)
             self.matches += 1
+            if self._obs is not None:
+                self._emit(frame_id, slot, True)
             return (first, value)
         self._parked[key] = value
         self.parks += 1
+        if self._obs is not None:
+            self._emit(frame_id, slot, False)
         return None
+
+    def _emit(self, frame_id: int, slot: int, matched: bool) -> None:
+        from ..obs.events import MatchEvent  # local: memory stays obs-free when off
+
+        self._obs.emit(MatchEvent(self._clock.now, self._pe, frame_id, slot, matched))
 
     def cancel(self, frame_id: int, slot: int) -> Any:
         """Discard a parked token (frame teardown); returns its value."""

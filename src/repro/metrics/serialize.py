@@ -66,8 +66,12 @@ def report_to_dict(report) -> dict[str, Any]:
             "packets": report.network.packets,
             "words": report.network.words,
             "mean_latency": report.network.mean_latency,
+            "p50_latency": report.network.p50_latency,
+            "p95_latency": report.network.p95_latency,
             "max_latency": report.network.max_latency,
             "mean_hops": report.network.mean_hops,
+            "max_in_flight": report.network.max_in_flight,
+            "max_port_wait": report.network.max_port_wait,
         },
         "per_pe": [counters_to_dict(c) for c in report.counters],
     }

@@ -20,6 +20,8 @@ from typing import Callable
 
 from ..config import MachineConfig, TimingModel
 from ..errors import NetworkError
+from ..obs.bus import EventBus
+from ..obs.events import PacketDeliver, PacketHop
 from ..packet import Packet
 from ..sim import Engine
 from .stats import NetworkStats
@@ -38,10 +40,17 @@ DeliverFn = Callable[[Packet], None]
 class OmegaNetworkBase:
     """Common machinery: attachment, port reservation, delivery."""
 
-    def __init__(self, engine: Engine, topology: CircularOmegaTopology, timing: TimingModel) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        topology: CircularOmegaTopology,
+        timing: TimingModel,
+        obs: EventBus | None = None,
+    ) -> None:
         self.engine = engine
         self.topology = topology
         self.timing = timing
+        self.obs = obs
         self.stats = NetworkStats()
         self._sinks: dict[int, DeliverFn] = {}
         self._port_free: dict[tuple, int] = {}
@@ -63,16 +72,35 @@ class OmegaNetworkBase:
         arrival, hops = self._transit(pkt)
         self.stats.record(pkt, hops, arrival - pkt.born)
         self.in_flight += 1
+        if self.in_flight > self.stats.max_in_flight:
+            self.stats.max_in_flight = self.in_flight
         self.engine.schedule_at(arrival, self._deliver, pkt)
 
     def _deliver(self, pkt: Packet) -> None:
         self.in_flight -= 1
+        if self.obs is not None:
+            now = self.engine.now
+            self.obs.emit(
+                PacketDeliver(
+                    now,
+                    pkt.seq,
+                    pkt.kind,
+                    pkt.src,
+                    pkt.dst,
+                    now - pkt.born,
+                    self.topology.hop_count(pkt.src, pkt.dst),
+                )
+            )
         self._sinks[pkt.dst](pkt)
 
     # ------------------------------------------------------------------
     def _reserve(self, port: tuple, earliest: int, occupancy: int) -> int:
         """Book ``occupancy`` cycles on ``port``; returns departure time."""
         depart = max(earliest, self._port_free.get(port, 0))
+        if depart > earliest:  # contended: track the queue-occupancy ceiling
+            wait = depart - earliest
+            if wait > self.stats.max_port_wait:
+                self.stats.max_port_wait = wait
         self._port_free[port] = depart + occupancy
         self._port_busy_cycles[port] = self._port_busy_cycles.get(port, 0) + occupancy
         return depart
@@ -126,6 +154,8 @@ class DetailedOmegaNetwork(OmegaNetworkBase):
             raise NetworkError(f"packet to unattached PE {pkt.dst}: {pkt!r}")
         pkt.born = self.engine.now
         self.in_flight += 1
+        if self.in_flight > self.stats.max_in_flight:
+            self.stats.max_in_flight = self.in_flight
         route = self.topology.route(pkt.src, pkt.dst)
         self._hop(pkt, route, -1)
 
@@ -139,6 +169,8 @@ class DetailedOmegaNetwork(OmegaNetworkBase):
         else:
             hop = route[idx]
             port = ("sw", hop.node, hop.bit)
+            if self.obs is not None:
+                self.obs.emit(PacketHop(self.engine.now, pkt.seq, hop.node, hop.bit))
         depart = self._reserve(port, self.engine.now, slots)
         if idx == len(route):
             arrival = depart + self.timing.eject
@@ -171,11 +203,13 @@ class AnalyticOmegaNetwork(OmegaNetworkBase):
         return arrival, hops
 
 
-def build_network(engine: Engine, config: MachineConfig) -> OmegaNetworkBase:
+def build_network(
+    engine: Engine, config: MachineConfig, obs: EventBus | None = None
+) -> OmegaNetworkBase:
     """Construct the network model selected by ``config.network_model``."""
     topo = CircularOmegaTopology(config.n_pes)
     if config.network_model == "detailed":
-        return DetailedOmegaNetwork(engine, topo, config.timing)
+        return DetailedOmegaNetwork(engine, topo, config.timing, obs)
     if config.network_model == "analytic":
-        return AnalyticOmegaNetwork(engine, topo, config.timing)
+        return AnalyticOmegaNetwork(engine, topo, config.timing, obs)
     raise NetworkError(f"unknown network model {config.network_model!r}")

@@ -26,6 +26,15 @@ class NetworkStats:
     max_latency: int = 0
     total_hops: int = 0
     by_kind: Counter = field(default_factory=Counter)
+    #: Full latency distribution (``{cycles: packet_count}``), the basis
+    #: of the percentile figures.  Bounded by the number of *distinct*
+    #: latencies, which the integer cycle clock keeps small.
+    latency_hist: Counter = field(default_factory=Counter)
+    #: Peak number of packets simultaneously in the fabric.
+    max_in_flight: int = 0
+    #: Longest any packet waited for a busy output port (cycles) — the
+    #: per-port queue-occupancy ceiling (network layer maintains it).
+    max_port_wait: int = 0
 
     def record(self, pkt: Packet, hops: int, latency: int) -> None:
         """Account one delivered packet."""
@@ -36,6 +45,7 @@ class NetworkStats:
         if latency > self.max_latency:
             self.max_latency = latency
         self.by_kind[pkt.kind] += 1
+        self.latency_hist[latency] += 1
 
     @property
     def mean_latency(self) -> float:
@@ -47,6 +57,31 @@ class NetworkStats:
         """Average switch hops per packet."""
         return self.total_hops / self.packets if self.packets else 0.0
 
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank ``q``-quantile (0..1) of packet latency in cycles."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in 0..1, got {q}")
+        total = sum(self.latency_hist.values())
+        if total == 0:
+            return 0.0
+        rank = max(1, int(q * total + 0.5))
+        seen = 0
+        for latency in sorted(self.latency_hist):
+            seen += self.latency_hist[latency]
+            if seen >= rank:
+                return float(latency)
+        return float(self.max_latency)  # pragma: no cover - rank <= total
+
+    @property
+    def p50_latency(self) -> float:
+        """Median injection-to-delivery latency in cycles."""
+        return self.latency_percentile(0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        """95th-percentile injection-to-delivery latency in cycles."""
+        return self.latency_percentile(0.95)
+
     def count(self, kind: PacketKind) -> int:
         """Packets delivered of one kind."""
         return self.by_kind[kind]
@@ -56,6 +91,8 @@ class NetworkStats:
         kinds = ", ".join(f"{k.value}={v}" for k, v in sorted(self.by_kind.items(), key=lambda kv: kv[0].value))
         return (
             f"{self.packets} pkts ({self.words} words), "
-            f"mean latency {self.mean_latency:.1f} cyc (max {self.max_latency}), "
-            f"mean hops {self.mean_hops:.2f} [{kinds}]"
+            f"mean latency {self.mean_latency:.1f} cyc "
+            f"(p50 {self.p50_latency:.0f}, p95 {self.p95_latency:.0f}, max {self.max_latency}), "
+            f"mean hops {self.mean_hops:.2f}, "
+            f"peak in-flight {self.max_in_flight} [{kinds}]"
         )

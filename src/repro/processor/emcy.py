@@ -33,6 +33,8 @@ class EMCYProcessor:
         self.allocator = SegmentAllocator(config.memory_words)
         self.frames = FrameTable(self.allocator, pe)
         self.matching = MatchingMemory()
+        if machine.obs is not None:
+            self.matching.attach_obs(machine.obs, pe, machine.engine.clock)
 
         # Runtime bookkeeping.
         self.continuations = ContinuationTable(pe)
@@ -45,7 +47,7 @@ class EMCYProcessor:
         self.trace: list = []
 
         # Pipeline units.
-        self.obu = OutputBufferUnit(pe, machine.engine, machine.network)
+        self.obu = OutputBufferUnit(pe, machine.engine, machine.network, machine.obs)
         self.ibu = InputBufferUnit(self)
         self.exu = ExecutionUnit(self)
 

@@ -39,6 +39,7 @@ from ..core.effects import (
 from ..core.thread import EMThread, ThreadState
 from ..errors import SchedulerError, ThreadProtocolError
 from ..metrics.counters import Bucket, SwitchKind
+from ..obs.events import BarrierEvent, BurstSpan, ThreadSwitch
 from ..packet import Packet, PacketKind
 from ..trace import TraceEvent
 
@@ -97,8 +98,26 @@ class ExecutionUnit:
                 counters.comm_gap_max = gap
             if self._proc.machine.config.trace:
                 self._proc.trace.append(TraceEvent(self._last_end, now, "idle"))
+            obs = self._proc.machine.obs
+            if obs is not None:
+                obs.emit(BurstSpan(self._last_end, self._proc.pe, now, "idle"))
         else:
             counters.add_cycles(Bucket.IDLE, gap)
+
+    def _switch(self, kind: SwitchKind, thread: EMThread | None = None) -> None:
+        """Count one context switch and mirror it onto the event bus."""
+        proc = self._proc
+        proc.counters.add_switch(kind)
+        obs = proc.machine.obs
+        if obs is not None:
+            obs.emit(
+                ThreadSwitch(
+                    proc.machine.engine.now,
+                    proc.pe,
+                    kind,
+                    thread.name if thread is not None else "",
+                )
+            )
 
     # ------------------------------------------------------------------
     # Packet dispatch
@@ -127,13 +146,13 @@ class ExecutionUnit:
         if reason == "barrier":
             _, thread, barrier, gen = pkt.data
             if barrier.is_open(self._proc.pe, gen):
-                counters.add_switch(SwitchKind.ITER_SYNC)
+                self._switch(SwitchKind.ITER_SYNC, thread)
                 self._run_burst(thread, None, timing.match_invoke + extra)
             else:
                 # Spin re-check: a full switch through the FIFO.
                 engine = self._proc.machine.engine
                 cost = timing.match_invoke + timing.barrier_check + extra
-                counters.add_switch(SwitchKind.ITER_SYNC)
+                self._switch(SwitchKind.ITER_SYNC, thread)
                 counters.add_cycles(Bucket.SWITCHING, cost)
                 counters.sync_stall_cycles += cost
                 t0 = engine.now
@@ -142,6 +161,11 @@ class ExecutionUnit:
                 counters.note_active(t0, self.busy_until)
                 if self._proc.machine.config.trace:
                     self._proc.trace.append(TraceEvent(t0, self.busy_until, "spin"))
+                obs = self._proc.machine.obs
+                if obs is not None:
+                    obs.emit(
+                        BurstSpan(t0, self._proc.pe, self.busy_until, "spin", thread.name)
+                    )
                 engine.schedule_at(
                     self.busy_until + timing.barrier_recheck_interval,
                     self._proc.ibu.enqueue,
@@ -197,6 +221,8 @@ class ExecutionUnit:
         proc.counters.note_active(t0, self.busy_until)
         if proc.machine.config.trace:
             proc.trace.append(TraceEvent(t0, self.busy_until, "service"))
+        if proc.machine.obs is not None:
+            proc.machine.obs.emit(BurstSpan(t0, proc.pe, self.busy_until, "service"))
         proc.obu.inject_at(self.busy_until, reply)
 
     # ------------------------------------------------------------------
@@ -208,6 +234,7 @@ class ExecutionUnit:
         engine = proc.machine.engine
         counters = proc.counters
         pe = proc.pe
+        obs = proc.machine.obs
 
         t0 = engine.now
         comp = 0
@@ -251,7 +278,7 @@ class ExecutionUnit:
                     )
                 )
                 counters.reads_issued += 1
-                counters.add_switch(SwitchKind.REMOTE_READ)
+                self._switch(SwitchKind.REMOTE_READ, thread)
                 thread.transition(ThreadState.WAIT_READ)
                 break
 
@@ -273,7 +300,7 @@ class ExecutionUnit:
                         )
                     )
                 counters.reads_issued += 2
-                counters.add_switch(SwitchKind.REMOTE_READ)
+                self._switch(SwitchKind.REMOTE_READ, thread)
                 thread.transition(ThreadState.WAIT_READ)
                 break
 
@@ -295,7 +322,7 @@ class ExecutionUnit:
                 )
                 counters.block_reads_issued += 1
                 counters.block_words_requested += eff.count
-                counters.add_switch(SwitchKind.REMOTE_READ)
+                self._switch(SwitchKind.REMOTE_READ, thread)
                 thread.transition(ThreadState.WAIT_READ)
                 break
 
@@ -386,7 +413,7 @@ class ExecutionUnit:
                     )
                 )
                 counters.spawns_issued += 1
-                counters.add_switch(SwitchKind.EXPLICIT)
+                self._switch(SwitchKind.EXPLICIT, thread)
                 thread.transition(ThreadState.WAIT_CALL)
                 break
 
@@ -395,7 +422,7 @@ class ExecutionUnit:
                     comp += timing.int_op  # the successful inline check
                     continue
                 sw += timing.reg_save
-                counters.add_switch(SwitchKind.THREAD_SYNC)
+                self._switch(SwitchKind.THREAD_SYNC, thread)
                 eff.token.park(eff.seq, thread)
                 thread.transition(ThreadState.WAIT_TOKEN)
                 break
@@ -419,8 +446,10 @@ class ExecutionUnit:
             elif et is BarrierWait:
                 bar = eff.barrier
                 sw += timing.barrier_check
-                counters.add_switch(SwitchKind.ITER_SYNC)
+                self._switch(SwitchKind.ITER_SYNC, thread)
                 gen_no, last_local = bar.arrive(pe)
+                if obs is not None:
+                    obs.emit(BarrierEvent(engine.now, pe, bar.barrier_id, gen_no, "arrive"))
                 if last_local:
                     over += timing.pkt_gen
                     emits.append(
@@ -447,7 +476,7 @@ class ExecutionUnit:
 
             elif et is SwitchNow:
                 sw += timing.reg_save
-                counters.add_switch(SwitchKind.EXPLICIT)
+                self._switch(SwitchKind.EXPLICIT, thread)
                 thread.transition(ThreadState.READY)
                 local_resumes.append(
                     Packet(kind=PacketKind.RESUME, src=pe, dst=pe, data=("explicit", thread))
@@ -471,6 +500,8 @@ class ExecutionUnit:
         counters.note_active(t0, self.busy_until)
         if proc.machine.config.trace:
             proc.trace.append(TraceEvent(t0, self.busy_until, "burst", thread.name))
+        if obs is not None:
+            obs.emit(BurstSpan(t0, pe, self.busy_until, "burst", thread.name))
         for off, pkt in emits:
             proc.obu.inject_at(t0 + off, pkt)
         for off, pkt in mid_resumes:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..errors import PacketError
+from ..obs.events import BurstSpan
 from ..packet import Packet, PacketKind, Priority
 
 __all__ = ["InputBufferUnit"]
@@ -131,6 +132,9 @@ class InputBufferUnit:
         start = max(engine.now, self._dma_free)
         done = start + cost
         self._dma_free = done
+        obs = self._proc.machine.obs
+        if obs is not None:
+            obs.emit(BurstSpan(start, self._proc.pe, done, "dma", unit="ibu"))
         engine.schedule_at(done, self._dma_complete, pkt)
 
     def _dma_complete(self, pkt: Packet) -> None:

@@ -45,7 +45,7 @@ from .sweep import (
     sweep_threads,
     using,
 )
-from .worker import JobTimeout, execute_job, run_job_worker
+from .worker import JobTimeout, execute_job, run_job_worker, trace_artifact_path
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -64,6 +64,7 @@ __all__ = [
     "JobTimeout",
     "execute_job",
     "run_job_worker",
+    "trace_artifact_path",
     "RunnerOptions",
     "RunStats",
     "configure",

@@ -22,6 +22,7 @@ prints it so a warm re-export visibly executes **zero** simulations.
 from __future__ import annotations
 
 import contextlib
+import functools
 from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
@@ -29,7 +30,7 @@ from ..errors import ConfigError
 from .cache import ResultCache
 from .jobs import FIGURES, JobSpec, dedupe, expand_figures, expand_sweep
 from .pool import PoolStatus, run_jobs
-from .worker import execute_job
+from .worker import execute_job, run_job_worker
 
 __all__ = [
     "RunnerOptions",
@@ -64,6 +65,10 @@ class RunnerOptions:
     #: Called with a :class:`~repro.runner.pool.PoolStatus` after every
     #: completed/cached job.
     progress: Callable[[PoolStatus], None] | None = None
+    #: When set, every *executed* job also writes a Perfetto trace
+    #: under this directory (cache hits produce no artifact; the cache
+    #: key is unaffected).
+    trace_dir: str | None = None
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -184,7 +189,7 @@ def run_job(spec: JobSpec, *, options: RunnerOptions | None = None):
             _stats.disk_hits += 1
             _memo[spec] = record
             return record
-    record = execute_job(spec)
+    record = execute_job(spec, trace_dir=options.trace_dir)
     _stats.executed += 1
     _memo[spec] = record
     if cache is not None:
@@ -230,10 +235,14 @@ def run_specs(
         )
         if options.progress is not None:
             options.progress(status)
+        worker = run_job_worker
+        if options.trace_dir is not None:
+            worker = functools.partial(run_job_worker, trace_dir=options.trace_dir)
         executed = run_jobs(
             misses,
             jobs=options.jobs,
             timeout=options.timeout,
+            worker=worker,
             progress=options.progress,
             status=status,
         )

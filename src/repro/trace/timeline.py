@@ -39,15 +39,31 @@ class TraceEvent:
             raise SimulationError(f"unknown trace kind {self.kind!r}")
 
 
-def utilization(events: list[TraceEvent]) -> float:
-    """Fraction of the traced window spent in bursts (useful work)."""
+def utilization(
+    events: list[TraceEvent],
+    start: int | None = None,
+    end: int | None = None,
+) -> float:
+    """Fraction of the traced window spent in bursts (useful work).
+
+    Without an explicit window the span runs from the first event start
+    to the last event end, which understates idle time at the run's
+    edges.  Pass ``start``/``end`` (e.g. ``0`` and the run's
+    ``runtime_cycles``) to measure against the real wall-clock window;
+    burst time is clipped to it.
+    """
     if not events:
         return 0.0
-    span = max(e.end for e in events) - min(e.start for e in events)
-    if span == 0:
+    lo = min(e.start for e in events) if start is None else start
+    hi = max(e.end for e in events) if end is None else end
+    if hi <= lo:
         return 0.0
-    busy = sum(e.end - e.start for e in events if e.kind == "burst")
-    return busy / span
+    busy = sum(
+        min(e.end, hi) - max(e.start, lo)
+        for e in events
+        if e.kind == "burst" and e.end > lo and e.start < hi
+    )
+    return busy / (hi - lo)
 
 
 def render_timeline(

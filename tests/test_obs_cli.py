@@ -1,0 +1,102 @@
+"""Observability surface: trace CLI, --timeline, runner trace artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs import validate_perfetto
+from repro.runner import JobSpec, clear_memo, run_job, trace_artifact_path, using
+from repro.trace import TraceEvent, utilization
+
+
+def test_cli_trace_subcommand(capsys, tmp_path):
+    out_file = tmp_path / "run.perfetto.json"
+    main(["trace", "sort", "--pes", "2", "--size", "8", "--threads", "2",
+          "--out", str(out_file)])
+    out = capsys.readouterr().out
+    assert "sort: n=16 P=2 h=2 -> OK" in out
+    assert "context switches by kind" in out
+    assert "remote_read" in out
+    obj = json.loads(out_file.read_text())
+    assert validate_perfetto(obj) == []
+
+
+def test_cli_trace_all_apps(capsys, tmp_path):
+    for app, pes in (("fft", 2), ("transpose", 2), ("emc-sort", 2)):
+        out_file = tmp_path / f"{app}.perfetto.json"
+        main(["trace", app, "--pes", str(pes), "--size", "8", "--threads", "1",
+              "--out", str(out_file)])
+        capsys.readouterr()
+        assert validate_perfetto(json.loads(out_file.read_text())) == []
+
+
+def test_cli_app_timeline(capsys):
+    main(["sort", "--pes", "2", "--size", "8", "--threads", "2", "--timeline"])
+    out = capsys.readouterr().out
+    assert "sort: n=16 P=2 h=2 -> OK" in out
+    assert "PE  0 |" in out
+    assert "legend: # burst" in out
+
+
+def test_cli_app_trace_flag(capsys, tmp_path):
+    out_file = tmp_path / "fft.perfetto.json"
+    main(["fft", "--pes", "2", "--size", "8", "--threads", "2",
+          "--trace", str(out_file)])
+    err = capsys.readouterr().err
+    assert "wrote" in err
+    assert validate_perfetto(json.loads(out_file.read_text())) == []
+
+
+def test_cli_json_includes_percentiles(capsys):
+    main(["sort", "--pes", "2", "--size", "8", "--threads", "1", "--json"])
+    payload = json.loads(capsys.readouterr().out)
+    net = payload["network"]
+    for key in ("p50_latency", "p95_latency", "max_in_flight", "max_port_wait"):
+        assert key in net
+    assert net["p50_latency"] <= net["p95_latency"] <= net["max_latency"]
+
+
+def test_runner_trace_dir_writes_artifacts(tmp_path):
+    trace_dir = tmp_path / "traces"
+    spec = JobSpec(app="sort", n_pes=2, npp=8, h=2)
+    clear_memo()
+    with using(use_cache=False, trace_dir=str(trace_dir)):
+        run_job(spec)
+    artifact = trace_artifact_path(str(trace_dir), spec)
+    obj = json.loads(open(artifact).read())
+    assert validate_perfetto(obj) == []
+
+
+def test_runner_trace_dir_off_by_default(tmp_path):
+    clear_memo()
+    with using(use_cache=False):
+        run_job(JobSpec(app="sort", n_pes=2, npp=8, h=1))
+    assert not list(tmp_path.iterdir())
+
+
+def test_cached_job_skips_trace_artifact(tmp_path):
+    spec = JobSpec(app="sort", n_pes=2, npp=8, h=4)
+    clear_memo()
+    with using(use_cache=True, cache_dir=str(tmp_path / "cache")):
+        run_job(spec)  # cold: cached, no tracing configured
+    clear_memo()
+    trace_dir = tmp_path / "traces"
+    with using(use_cache=True, cache_dir=str(tmp_path / "cache"),
+               trace_dir=str(trace_dir)):
+        run_job(spec)  # disk hit: executes nothing, writes nothing
+    assert not trace_dir.exists()
+
+
+def test_utilization_accepts_explicit_window():
+    events = [TraceEvent(10, 20, "burst"), TraceEvent(20, 30, "idle")]
+    # Default: busy 10 over the event span 20.
+    assert utilization(events) == pytest.approx(0.5)
+    # Explicit window: same busy time over the full run.
+    assert utilization(events, start=0, end=40) == pytest.approx(0.25)
+    # Bursts are clipped to the window.
+    assert utilization(events, start=15, end=25) == pytest.approx(0.5)
+    assert utilization(events, start=30, end=30) == 0.0
+    assert utilization([], start=0, end=100) == 0.0
