@@ -8,7 +8,14 @@ multithreading runtime, the paper's two workloads (multithreaded bitonic
 sorting and FFT), and the harness regenerating every figure of the
 paper's evaluation.
 
-Quickstart::
+Quickstart — run a paper workload through the app registry::
+
+    import repro
+
+    report = repro.run("fft", n=1024, n_pes=16, h=4)
+    print(report.runtime_cycles, report.breakdown)
+
+Or drive the machine directly::
 
     from repro import EMX, MachineConfig
 
@@ -25,6 +32,7 @@ Quickstart::
     print(report.runtime_cycles, report.network.summary())
 """
 
+from .api import APPS, app_names, get_app, register_app, run
 from .config import CLOCK_HZ, CYCLE_SECONDS, MachineConfig, TimingModel
 from .core import GlobalBarrier, OrderToken, ThreadCtx
 from .errors import ReproError
@@ -35,6 +43,11 @@ from .packet import GlobalAddress
 __version__ = "1.0.0"
 
 __all__ = [
+    "run",
+    "APPS",
+    "app_names",
+    "get_app",
+    "register_app",
     "EMX",
     "MachineConfig",
     "TimingModel",

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .apps import run_bitonic, run_fft
+from .api import get_app, result_ok
 from .experiments import (
     default_scale,
     fig6_panel,
@@ -200,7 +200,7 @@ def _cmd_goldens(args: argparse.Namespace) -> None:
 
 
 def _cmd_app(args: argparse.Namespace) -> None:
-    runner = run_bitonic if args.app == "sort" else run_fft
+    runner = get_app(args.app)
     kwargs: dict = {}
     recorder = None
     if args.trace:
@@ -215,7 +215,7 @@ def _cmd_app(args: argparse.Namespace) -> None:
         kwargs["config"] = MachineConfig(trace=True)
     result = runner(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
                     seed=args.seed, **kwargs)
-    ok = result.sorted_ok if args.app == "sort" else result.verified
+    ok = result_ok(result)
     report = result.report
     if args.json:
         from .metrics import report_to_json
@@ -248,7 +248,6 @@ def _cmd_app(args: argparse.Namespace) -> None:
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
-    from .apps import run_emc_bitonic, run_transpose_sort
     from .obs import (
         EventBus,
         RingRecorder,
@@ -258,18 +257,12 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         write_perfetto,
     )
 
-    runners = {
-        "sort": run_bitonic,
-        "fft": run_fft,
-        "transpose": run_transpose_sort,
-        "emc-sort": run_emc_bitonic,
-    }
     bus = EventBus()
     recorder = RingRecorder(bus, capacity=args.buffer)
-    result = runners[args.app](
-        args.pes, args.pes * args.size, args.threads, seed=args.seed, obs=bus
+    result = get_app(args.app)(
+        n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed, obs=bus
     )
-    ok = result.verified if args.app == "fft" else result.sorted_ok
+    ok = result_ok(result)
     report = result.report
     write_perfetto(args.out, recorder.events, n_pes=args.pes)
 
@@ -350,7 +343,9 @@ def main(argv: list[str] | None = None) -> None:
     p = sub.add_parser(
         "trace",
         help="run one app under the event recorder and export a Perfetto trace")
-    p.add_argument("app", choices=["sort", "fft", "transpose", "emc-sort"])
+    from .api import app_names
+
+    p.add_argument("app", choices=app_names())
     p.add_argument("--out", default="run.perfetto.json", metavar="FILE",
                    help="output path (default: %(default)s)")
     p.add_argument("--pes", type=int, default=8)

@@ -1,0 +1,147 @@
+"""One front door to the paper's workloads.
+
+Every workload (`repro.apps`) registers itself in :data:`APPS` under its
+CLI name via :func:`register_app`; :func:`run` is the single public
+entry point that looks the app up, runs it with the unified keyword-only
+signature, checks verification, and returns the
+:class:`~repro.machine.MachineReport`::
+
+    import repro
+
+    report = repro.run("sort", n=1024, n_pes=16, h=4)
+    print(report.runtime_cycles)
+
+The CLI (``python -m repro``) and the experiment runner dispatch through
+the same registry, so adding a workload is one ``@register_app("name")``
+decorator — not parallel edits to three hand-maintained dicts.
+
+**Legacy calls.**  The ``run_*`` functions were historically called with
+``(n_pes, n, h)`` positional; :func:`register_app` wraps each app with a
+shim that still accepts that pattern but emits a
+:class:`DeprecationWarning`.  New code passes keywords only.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import TYPE_CHECKING, Any, Callable
+
+from .errors import ProgramError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .machine import MachineReport
+
+__all__ = ["APPS", "register_app", "get_app", "app_names", "result_ok", "run"]
+
+#: Registry of runnable workloads, keyed by CLI name (and aliases).
+#: Populated as a side effect of importing :mod:`repro.apps`; use
+#: :func:`get_app`/:func:`app_names` to read it with loading handled.
+APPS: dict[str, Callable[..., Any]] = {}
+
+#: Historical positional order of the ``run_*`` entry points.
+_LEGACY_POSITIONAL = ("n_pes", "n", "h")
+
+
+def register_app(name: str, *aliases: str) -> Callable:
+    """Register a workload entry point under ``name`` (plus aliases).
+
+    The decorated function must take keyword-only arguments including at
+    least ``n_pes``, ``n``, ``h``, ``config`` and ``obs``, and return a
+    result object exposing ``.report`` (a MachineReport) and a
+    verification flag (``sorted_ok`` or ``verified``).  The returned
+    wrapper additionally accepts up to three *legacy* positional
+    arguments, mapped to ``(n_pes, n, h)`` with a DeprecationWarning.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if args:
+                if len(args) > len(_LEGACY_POSITIONAL):
+                    raise TypeError(
+                        f"{fn.__name__}() takes at most {len(_LEGACY_POSITIONAL)} "
+                        f"positional arguments ({len(args)} given)"
+                    )
+                warnings.warn(
+                    f"calling {fn.__name__} with positional arguments is "
+                    f"deprecated; pass {', '.join(_LEGACY_POSITIONAL[: len(args)])} "
+                    f"as keywords",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                for pname, value in zip(_LEGACY_POSITIONAL, args):
+                    if pname in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got multiple values for argument {pname!r}"
+                        )
+                    kwargs[pname] = value
+            return fn(**kwargs)
+
+        wrapper.app_names = (name, *aliases)  # type: ignore[attr-defined]
+        for key in (name, *aliases):
+            if key in APPS:
+                raise ProgramError(f"app name {key!r} registered twice")
+            APPS[key] = wrapper
+        return wrapper
+
+    return decorate
+
+
+def _load_apps() -> None:
+    """Make sure the registry is populated (idempotent)."""
+    from . import apps  # noqa: F401  (import side effect: decorators run)
+
+
+def get_app(name: str) -> Callable[..., Any]:
+    """The registered entry point for ``name``; raises ProgramError."""
+    _load_apps()
+    try:
+        return APPS[name]
+    except KeyError:
+        raise ProgramError(
+            f"unknown app {name!r}; registered apps: {', '.join(app_names())}"
+        ) from None
+
+
+def app_names() -> tuple[str, ...]:
+    """All registered app names (sorted, aliases included)."""
+    _load_apps()
+    return tuple(sorted(APPS))
+
+
+def result_ok(result: Any) -> bool:
+    """Did an app result pass its self-verification?
+
+    Apps flag verification as ``sorted_ok`` (the sorters) or
+    ``verified`` (FFT); results with neither are treated as passing.
+    """
+    ok = getattr(result, "sorted_ok", None)
+    if ok is None:
+        ok = getattr(result, "verified", True)
+    return bool(ok)
+
+
+def run(
+    app: str,
+    *,
+    n: int,
+    n_pes: int,
+    h: int,
+    config: Any = None,
+    obs: Any = None,
+    **app_kwargs: Any,
+) -> "MachineReport":
+    """Run one workload and return its :class:`~repro.machine.MachineReport`.
+
+    ``app`` is a registry name (see :func:`app_names`); ``n`` the problem
+    size, ``n_pes`` the processor count, ``h`` the threads per processor.
+    Extra keywords are forwarded to the app (e.g. ``seed=``,
+    ``verify=``, ``kernel=``).  Raises :class:`~repro.errors.ProgramError`
+    for unknown apps or when the run fails its self-verification.
+    """
+    fn = get_app(app)
+    result = fn(n_pes=n_pes, n=n, h=h, config=config, obs=obs, **app_kwargs)
+    if not result_ok(result):
+        raise ProgramError(f"app {app!r} (n={n}, n_pes={n_pes}, h={h}) failed verification")
+    return result.report

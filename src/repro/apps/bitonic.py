@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import register_app
 from ..config import MachineConfig
 from ..core.sync import GlobalBarrier, OrderToken
 from ..errors import ProgramError
@@ -213,18 +214,19 @@ def _fresh_merge_state(keep_low: bool, npp: int) -> dict:
     return {"out": [], "li": 0 if keep_low else npp - 1, "done": False}
 
 
+@register_app("sort", "bitonic")
 def run_bitonic(
+    *,
     n_pes: int,
     n: int,
     h: int,
-    *,
     config: MachineConfig | None = None,
+    obs=None,
     kernel: KernelCosts | None = None,
     data: list[int] | None = None,
     seed: int = 0,
     verify: bool = True,
     block_reads: bool = False,
-    obs=None,
 ) -> BitonicResult:
     """Sort ``n`` integers on ``n_pes`` processors with ``h`` threads each.
 

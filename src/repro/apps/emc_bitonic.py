@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import register_app
 from ..config import MachineConfig
 from ..core.sync import OrderToken
 from ..errors import ProgramError
@@ -173,16 +174,17 @@ class EmcBitonicResult:
     output: list[int] = field(repr=False)
 
 
+@register_app("emc-sort", "emc-bitonic")
 def run_emc_bitonic(
+    *,
     n_pes: int,
     n: int,
     h: int,
-    *,
     config: MachineConfig | None = None,
+    obs=None,
     data: list[int] | None = None,
     seed: int = 0,
     verify: bool = True,
-    obs=None,
 ) -> EmcBitonicResult:
     """Sort ``n`` integers with the EM-C implementation.
 

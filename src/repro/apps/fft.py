@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import register_app
 from ..config import MachineConfig
 from ..core.sync import GlobalBarrier
 from ..errors import ProgramError
@@ -150,19 +151,20 @@ def fft_worker(ctx, t: int):
         yield ctx.compute(p.copy_cycles_per_word * 2 * (hi - lo))
 
 
+@register_app("fft")
 def run_fft(
+    *,
     n_pes: int,
     n: int,
     h: int,
-    *,
     config: MachineConfig | None = None,
+    obs=None,
     kernel: KernelCosts | None = None,
     data: list[complex] | None = None,
     seed: int = 0,
-    comm_stages_only: bool = True,
     verify: bool = True,
+    comm_stages_only: bool = True,
     tolerance: float = 1e-6,
-    obs=None,
 ) -> FFTResult:
     """Transform ``n`` points on ``n_pes`` processors with ``h`` threads each.
 

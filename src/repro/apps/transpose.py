@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..api import register_app
 from ..config import MachineConfig
 from ..core.sync import GlobalBarrier, OrderToken
 from ..errors import ProgramError
@@ -134,17 +135,18 @@ def transpose_worker(ctx, t: int):
         yield ctx.barrier_wait(bar)
 
 
+@register_app("transpose")
 def run_transpose_sort(
+    *,
     n_pes: int,
     n: int,
     h: int,
-    *,
     config: MachineConfig | None = None,
+    obs=None,
     kernel: KernelCosts | None = None,
     data: list[int] | None = None,
     seed: int = 0,
     verify: bool = True,
-    obs=None,
 ) -> TransposeResult:
     """Sort ``n`` integers with odd-even transposition over ``n_pes`` PEs.
 

@@ -33,6 +33,30 @@ class ThreadState(enum.Enum):
     WAIT_CALL = "wait_call"
     DONE = "done"
 
+    # Identity hash (C slot): the legal-transition table is consulted
+    # twice per burst, and Enum.__hash__ is a Python-level call.
+    __hash__ = object.__hash__
+
+
+#: The legal state graph, built once — ``transition`` runs on every
+#: burst entry/exit, so rebuilding this dict per call is hot-path waste.
+_LEGAL: dict[ThreadState, tuple[ThreadState, ...]] = {
+    ThreadState.READY: (ThreadState.RUNNING,),
+    ThreadState.RUNNING: (
+        ThreadState.WAIT_READ,
+        ThreadState.WAIT_BARRIER,
+        ThreadState.WAIT_TOKEN,
+        ThreadState.WAIT_CALL,
+        ThreadState.READY,  # explicit SwitchNow
+        ThreadState.DONE,
+    ),
+    ThreadState.WAIT_READ: (ThreadState.RUNNING,),
+    ThreadState.WAIT_BARRIER: (ThreadState.RUNNING,),
+    ThreadState.WAIT_TOKEN: (ThreadState.RUNNING,),
+    ThreadState.WAIT_CALL: (ThreadState.RUNNING,),
+    ThreadState.DONE: (),
+}
+
 
 class EMThread:
     """One fine-grain thread bound to a processor."""
@@ -55,23 +79,7 @@ class EMThread:
 
     def transition(self, new: ThreadState) -> None:
         """Move to ``new``, enforcing the legal state graph."""
-        legal: dict[ThreadState, tuple[ThreadState, ...]] = {
-            ThreadState.READY: (ThreadState.RUNNING,),
-            ThreadState.RUNNING: (
-                ThreadState.WAIT_READ,
-                ThreadState.WAIT_BARRIER,
-                ThreadState.WAIT_TOKEN,
-                ThreadState.WAIT_CALL,
-                ThreadState.READY,  # explicit SwitchNow
-                ThreadState.DONE,
-            ),
-            ThreadState.WAIT_READ: (ThreadState.RUNNING,),
-            ThreadState.WAIT_BARRIER: (ThreadState.RUNNING,),
-            ThreadState.WAIT_TOKEN: (ThreadState.RUNNING,),
-            ThreadState.WAIT_CALL: (ThreadState.RUNNING,),
-            ThreadState.DONE: (),
-        }
-        if new not in legal[self.state]:
+        if new not in _LEGAL[self.state]:
             raise ThreadProtocolError(
                 f"illegal thread transition {self.state.value} -> {new.value} for {self.name}"
             )

@@ -16,7 +16,7 @@ from __future__ import annotations
 import json
 import pathlib
 
-from ..apps import run_bitonic, run_fft, run_transpose_sort
+from ..api import get_app, result_ok
 from ..errors import ConfigError
 
 __all__ = ["make_goldens", "write_goldens", "compare_goldens", "GOLDEN_CONFIGS"]
@@ -32,20 +32,12 @@ GOLDEN_CONFIGS = (
     ("transpose_p4_n64_h2", "transpose", 4, 16, 2, 0),
 )
 
-_RUNNERS = {
-    "sort": run_bitonic,
-    "fft": run_fft,
-    "transpose": run_transpose_sort,
-}
-
-
 def make_goldens() -> dict[str, dict]:
     """Run every golden configuration and collect its fingerprint."""
     out: dict[str, dict] = {}
     for name, app, n_pes, npp, h, seed in GOLDEN_CONFIGS:
-        result = _RUNNERS[app](n_pes=n_pes, n=n_pes * npp, h=h, seed=seed)
-        ok = result.sorted_ok if app != "fft" else result.verified
-        if not ok:
+        result = get_app(app)(n_pes=n_pes, n=n_pes * npp, h=h, seed=seed)
+        if not result_ok(result):
             raise ConfigError(f"golden run {name} produced a wrong answer")
         report = result.report
         out[name] = {

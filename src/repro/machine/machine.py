@@ -152,14 +152,14 @@ class EMX:
         proc = self.pes[pe]
         func = self.registry.get(func_name)
         frame = proc.frames.create()
-        ctx = ThreadCtx(pe, self.config.n_pes, proc.memory, proc.guest_state, self._next_tid)
+        tid = self._next_tid
+        ctx = ThreadCtx(pe, self.config.n_pes, proc.memory, proc.guest_state, tid)
         gen = func(ctx, *args) if cont is None else func(ctx, *args, cont)
-        thread = EMThread(self._next_tid, pe, frame, gen, name=f"{func_name}@{pe}")
-        if self.obs is not None:
+        thread = EMThread(tid, pe, frame, gen, name=f"{func_name}@{pe}")
+        obs = self.obs
+        if obs is not None:
             thread.on_transition = self._emit_thread_transition
-            self.obs.emit(
-                ThreadLife(self.engine.now, pe, thread.tid, thread.name, "created")
-            )
+            obs.emit(ThreadLife(self.engine.now, pe, tid, thread.name, "created"))
         self._next_tid += 1
         self.live_threads += 1
         proc.live_threads += 1

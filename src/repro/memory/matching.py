@@ -16,6 +16,8 @@ from ..errors import SchedulerError
 
 __all__ = ["MatchingMemory"]
 
+_MISSING = object()  # sentinel: one dict probe per offer instead of two
+
 
 class MatchingMemory:
     """Parked first operands, keyed by (frame_id, slot)."""
@@ -47,14 +49,15 @@ class MatchingMemory:
         Returns ``None`` if the token was parked to wait for its mate,
         or the ``(first, second)`` operand pair when the match fires.
         """
+        parked = self._parked
         key = (frame_id, slot)
-        if key in self._parked:
-            first = self._parked.pop(key)
+        first = parked.pop(key, _MISSING)
+        if first is not _MISSING:
             self.matches += 1
             if self._obs is not None:
                 self._emit(frame_id, slot, True)
             return (first, value)
-        self._parked[key] = value
+        parked[key] = value
         self.parks += 1
         if self._obs is not None:
             self._emit(frame_id, slot, False)

@@ -42,6 +42,10 @@ class Bucket(enum.Enum):
     SWITCHING = "switching"
     IDLE = "idle"
 
+    # Identity hash (C slot) instead of Enum's Python-level __hash__:
+    # every burst charges 3-4 buckets, so these dict lookups are hot.
+    __hash__ = object.__hash__
+
 
 class SwitchKind(enum.Enum):
     """Context-switch classification (Fig. 9's three curves + explicit)."""
@@ -50,6 +54,8 @@ class SwitchKind(enum.Enum):
     ITER_SYNC = "iter_sync"
     THREAD_SYNC = "thread_sync"
     EXPLICIT = "explicit"
+
+    __hash__ = object.__hash__  # identity hash; see Bucket
 
 
 @dataclass

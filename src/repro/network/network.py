@@ -53,8 +53,9 @@ class OmegaNetworkBase:
         self.obs = obs
         self.stats = NetworkStats()
         self._sinks: dict[int, DeliverFn] = {}
-        self._port_free: dict[tuple, int] = {}
-        self._port_busy_cycles: dict[tuple, int] = {}
+        #: Per-port ``[next_free_cycle, busy_cycles]`` record — one dict
+        #: lookup per reservation (this runs once per hop per packet).
+        self._ports: dict[tuple, list[int]] = {}
         self.in_flight = 0
 
     # ------------------------------------------------------------------
@@ -96,13 +97,18 @@ class OmegaNetworkBase:
     # ------------------------------------------------------------------
     def _reserve(self, port: tuple, earliest: int, occupancy: int) -> int:
         """Book ``occupancy`` cycles on ``port``; returns departure time."""
-        depart = max(earliest, self._port_free.get(port, 0))
+        rec = self._ports.get(port)
+        if rec is None:
+            rec = self._ports[port] = [0, 0]
+        depart = rec[0]
         if depart > earliest:  # contended: track the queue-occupancy ceiling
             wait = depart - earliest
             if wait > self.stats.max_port_wait:
                 self.stats.max_port_wait = wait
-        self._port_free[port] = depart + occupancy
-        self._port_busy_cycles[port] = self._port_busy_cycles.get(port, 0) + occupancy
+        else:
+            depart = earliest
+        rec[0] = depart + occupancy
+        rec[1] += occupancy
         return depart
 
     def _transit(self, pkt: Packet) -> tuple[int, int]:
@@ -127,7 +133,7 @@ class OmegaNetworkBase:
         span = horizon if horizon is not None else self.engine.now
         if span <= 0:
             return {}
-        return {port: busy / span for port, busy in self._port_busy_cycles.items()}
+        return {port: rec[1] / span for port, rec in self._ports.items()}
 
     def hottest_ports(self, top: int = 8, horizon: int | None = None) -> list[tuple[tuple, float]]:
         """The ``top`` busiest ports, hottest first."""
@@ -148,43 +154,83 @@ class DetailedOmegaNetwork(OmegaNetworkBase):
     k+1 cycles after injection when uncontended.
     """
 
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: ``(src, dst)`` → precomputed port sequence: the injection
+        #: port, one ``("sw", node, bit)`` per switch hop, then the
+        #: ejection port.  Routes are pure functions of the endpoints,
+        #: so every packet of a pair reuses one tuple — no per-hop port
+        #: key allocation on the hot path.
+        self._plans: dict[tuple[int, int], tuple] = {}
+        self._eject = self.timing.eject
+        self._cpp = self.timing.port_cycles_per_packet
+
     def send(self, pkt: Packet) -> None:
         """Inject ``pkt`` now; it advances through per-hop events."""
-        if pkt.dst not in self._sinks:
-            raise NetworkError(f"packet to unattached PE {pkt.dst}: {pkt!r}")
+        dst = pkt.dst
+        if dst not in self._sinks:
+            raise NetworkError(f"packet to unattached PE {dst}: {pkt!r}")
         pkt.born = self.engine.now
         self.in_flight += 1
         if self.in_flight > self.stats.max_in_flight:
             self.stats.max_in_flight = self.in_flight
-        route = self.topology.route(pkt.src, pkt.dst)
-        self._hop(pkt, route, -1)
+        plan = self._plans.get((pkt.src, dst))
+        if plan is None:
+            route = self.topology.route(pkt.src, dst)
+            plan = self._plans[(pkt.src, dst)] = (
+                ("inj", pkt.src),
+                *(("sw", h.node, h.bit) for h in route),
+                ("ej", dst),
+            )
+        # Port occupancy depends only on packet size — compute it once
+        # here and thread it through the per-hop events.
+        self._hop(pkt, plan, 0, pkt.slots(self._cpp))
 
-    def _hop(self, pkt: Packet, route, idx: int) -> None:
-        """Arrive at stage ``idx`` (-1 = injection port, len = ejection)."""
-        slots = pkt.slots(self.timing.port_cycles_per_packet)
-        if idx == -1:
-            port = ("inj", pkt.src)
-        elif idx == len(route):
-            port = ("ej", pkt.dst)
-        else:
-            hop = route[idx]
-            port = ("sw", hop.node, hop.bit)
-            if self.obs is not None:
-                self.obs.emit(PacketHop(self.engine.now, pkt.seq, hop.node, hop.bit))
-        depart = self._reserve(port, self.engine.now, slots)
-        if idx == len(route):
-            arrival = depart + self.timing.eject
-            self.stats.record(pkt, len(route), arrival - pkt.born)
-            self.engine.schedule_at(arrival, self._deliver, pkt)
+    def _hop(self, pkt: Packet, plan: tuple, idx: int, slots: int) -> None:
+        """Arrive at ``plan[idx]`` (0 = injection port, last = ejection).
+
+        Loops while the packet advances within the current cycle (only
+        the injection→first-switch step can) and schedules one event per
+        later hop — the same event count and timing as the recursive
+        formulation, minus the Python call per same-cycle step.
+        """
+        engine = self.engine
+        now = engine.now
+        last = len(plan) - 1
+        ports = self._ports
+        obs = self.obs
+        while True:
+            port = plan[idx]
+            if obs is not None and 0 < idx < last:
+                self.obs.emit(PacketHop(now, pkt.seq, port[1], port[2]))
+            # Port reservation, inlined from _reserve: one hop per packet
+            # per stage makes the call overhead itself measurable.
+            rec = ports.get(port)
+            if rec is None:
+                rec = ports[port] = [0, 0]
+            depart = rec[0]
+            if depart > now:  # contended: track the queue-occupancy ceiling
+                wait = depart - now
+                stats = self.stats
+                if wait > stats.max_port_wait:
+                    stats.max_port_wait = wait
+            else:
+                depart = now
+            rec[0] = depart + slots
+            rec[1] += slots
+            if idx == last:
+                arrival = depart + self._eject
+                self.stats.record(pkt, last - 1, arrival - pkt.born)
+                engine.schedule_at(arrival, self._deliver, pkt)
+                return
+            # Injection into the first switch is immediate; each shuffle
+            # hop afterwards costs one cycle of cut-through latency.
+            when = depart if idx == 0 else depart + 1
+            idx += 1
+            if when <= now:
+                continue
+            engine.schedule_at(when, self._hop, pkt, plan, idx, slots)
             return
-        # Injection into the first switch is immediate; each shuffle
-        # hop afterwards costs one cycle of cut-through latency.
-        advance = 0 if idx == -1 else 1
-        when = depart + advance
-        if when <= self.engine.now:
-            self._hop(pkt, route, idx + 1)
-        else:
-            self.engine.schedule_at(when, self._hop, pkt, route, idx + 1)
 
     def _transit(self, pkt: Packet) -> tuple[int, int]:  # pragma: no cover
         raise NotImplementedError("detailed model advances packets per hop")

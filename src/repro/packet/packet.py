@@ -52,6 +52,12 @@ class PacketKind(enum.Enum):
     #: Runtime barrier traffic: the hub releasing a waiting PE.
     SYNC_RELEASE = "sync_release"
 
+    # Members are singletons compared by identity, so the id-based slot
+    # hash is consistent — and C-level, unlike Enum.__hash__, which is a
+    # Python call that shows up in profiles (stats count packets by kind
+    # on every delivery).
+    __hash__ = object.__hash__
+
 
 class Priority(enum.IntEnum):
     """IBU buffer level; the IBU has two levels of priority FIFOs."""
@@ -85,7 +91,7 @@ class Packet:
     words: int = 2
     priority: Priority = Priority.NORMAL
     born: int = 0
-    seq: int = field(default_factory=lambda: next(_seq_counter))
+    seq: int = field(default_factory=_seq_counter.__next__)
 
     def __post_init__(self) -> None:
         if self.src < 0 or self.dst < 0:

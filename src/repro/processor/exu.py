@@ -56,6 +56,15 @@ class ExecutionUnit:
 
     def __init__(self, proc) -> None:
         self._proc = proc
+        # Construction-time caches (machine wiring precedes processor
+        # construction and is immutable afterwards): the kick/dispatch
+        # path runs once per packet, so every saved attribute chain
+        # shows up on the fig6 sweep.
+        machine = proc.machine
+        self._engine = machine.engine
+        self._timing = machine.config.timing
+        self._trace_on = machine.config.trace
+        self._obs = machine.obs
         self.busy_until = 0
         self._kick_scheduled = False
         self._last_end: int | None = None
@@ -67,13 +76,13 @@ class ExecutionUnit:
         """The IBU queued a packet; make sure a kick is pending."""
         if self._kick_scheduled:
             return
-        engine = self._proc.machine.engine
+        engine = self._engine
         self._kick_scheduled = True
         engine.schedule_at(max(engine.now, self.busy_until), self._kick)
 
     def _kick(self) -> None:
         self._kick_scheduled = False
-        engine = self._proc.machine.engine
+        engine = self._engine
         if engine.now < self.busy_until:
             self.notify()
             return
@@ -96,9 +105,9 @@ class ExecutionUnit:
             counters.comm_gap_count += 1
             if gap > counters.comm_gap_max:
                 counters.comm_gap_max = gap
-            if self._proc.machine.config.trace:
+            if self._trace_on:
                 self._proc.trace.append(TraceEvent(self._last_end, now, "idle"))
-            obs = self._proc.machine.obs
+            obs = self._obs
             if obs is not None:
                 obs.emit(BurstSpan(self._last_end, self._proc.pe, now, "idle"))
         else:
@@ -108,11 +117,11 @@ class ExecutionUnit:
         """Count one context switch and mirror it onto the event bus."""
         proc = self._proc
         proc.counters.add_switch(kind)
-        obs = proc.machine.obs
+        obs = self._obs
         if obs is not None:
             obs.emit(
                 ThreadSwitch(
-                    proc.machine.engine.now,
+                    self._engine.now,
                     proc.pe,
                     kind,
                     thread.name if thread is not None else "",
@@ -124,7 +133,7 @@ class ExecutionUnit:
     # ------------------------------------------------------------------
     def _dispatch(self, pkt: Packet, extra: int) -> None:
         kind = pkt.kind
-        timing = self._proc.machine.config.timing
+        timing = self._timing
         if kind is PacketKind.INVOKE:
             func_name, args, cont = pkt.data
             thread = self._proc.machine.create_thread(self._proc.pe, func_name, args, cont)
@@ -140,7 +149,7 @@ class ExecutionUnit:
             raise SchedulerError(f"EXU cannot handle packet kind {kind}")
 
     def _dispatch_resume(self, pkt: Packet, extra: int) -> None:
-        timing = self._proc.machine.config.timing
+        timing = self._timing
         counters = self._proc.counters
         reason = pkt.data[0]
         if reason == "barrier":
@@ -150,7 +159,7 @@ class ExecutionUnit:
                 self._run_burst(thread, None, timing.match_invoke + extra)
             else:
                 # Spin re-check: a full switch through the FIFO.
-                engine = self._proc.machine.engine
+                engine = self._engine
                 cost = timing.match_invoke + timing.barrier_check + extra
                 self._switch(SwitchKind.ITER_SYNC, thread)
                 counters.add_cycles(Bucket.SWITCHING, cost)
@@ -159,9 +168,9 @@ class ExecutionUnit:
                 self.busy_until = t0 + cost
                 self._last_end = self.busy_until
                 counters.note_active(t0, self.busy_until)
-                if self._proc.machine.config.trace:
+                if self._trace_on:
                     self._proc.trace.append(TraceEvent(t0, self.busy_until, "spin"))
-                obs = self._proc.machine.obs
+                obs = self._obs
                 if obs is not None:
                     obs.emit(
                         BurstSpan(t0, self._proc.pe, self.busy_until, "spin", thread.name)
@@ -179,8 +188,8 @@ class ExecutionUnit:
     def _em4_service(self, pkt: Packet, extra: int) -> None:
         """EM-4 compatibility: the EXU itself answers a remote read."""
         proc = self._proc
-        timing = proc.machine.config.timing
-        engine = proc.machine.engine
+        timing = self._timing
+        engine = self._engine
         offset = pkt.address & 0xFFFFFFFF
         if pkt.kind is PacketKind.READ_REQ:
             cost = timing.em4_read_service + extra
@@ -219,10 +228,10 @@ class ExecutionUnit:
         self.busy_until = t0 + cost
         self._last_end = self.busy_until
         proc.counters.note_active(t0, self.busy_until)
-        if proc.machine.config.trace:
+        if self._trace_on:
             proc.trace.append(TraceEvent(t0, self.busy_until, "service"))
-        if proc.machine.obs is not None:
-            proc.machine.obs.emit(BurstSpan(t0, proc.pe, self.busy_until, "service"))
+        if self._obs is not None:
+            self._obs.emit(BurstSpan(t0, proc.pe, self.busy_until, "service"))
         proc.obu.inject_at(self.busy_until, reply)
 
     # ------------------------------------------------------------------
@@ -230,11 +239,14 @@ class ExecutionUnit:
     # ------------------------------------------------------------------
     def _run_burst(self, thread: EMThread, send_value, lead_switch: int) -> None:
         proc = self._proc
-        timing = proc.machine.config.timing
-        engine = proc.machine.engine
+        timing = self._timing
+        engine = self._engine
         counters = proc.counters
         pe = proc.pe
-        obs = proc.machine.obs
+        obs = self._obs
+        # The two per-effect timing constants, hoisted out of the loop.
+        pkt_gen = timing.pkt_gen
+        reg_save = timing.reg_save
 
         t0 = engine.now
         comp = 0
@@ -262,8 +274,8 @@ class ExecutionUnit:
                 comp += eff.cycles
 
             elif et is RemoteRead:
-                over += timing.pkt_gen
-                sw += timing.reg_save
+                over += pkt_gen
+                sw += reg_save
                 cid = proc.continuations.register(thread)
                 emits.append(
                     (
@@ -283,8 +295,8 @@ class ExecutionUnit:
                 break
 
             elif et is RemoteReadPair:
-                over += 2 * timing.pkt_gen
-                sw += timing.reg_save
+                over += 2 * pkt_gen
+                sw += reg_save
                 cid = proc.continuations.register(thread, tag="pair")
                 for slot, addr in ((0, eff.addr_a), (1, eff.addr_b)):
                     emits.append(
@@ -305,8 +317,8 @@ class ExecutionUnit:
                 break
 
             elif et is RemoteReadBlock:
-                over += timing.pkt_gen
-                sw += timing.reg_save
+                over += pkt_gen
+                sw += reg_save
                 cid = proc.continuations.register(thread)
                 emits.append(
                     (
@@ -327,7 +339,7 @@ class ExecutionUnit:
                 break
 
             elif et is RemoteWrite:
-                over += timing.pkt_gen
+                over += pkt_gen
                 emits.append(
                     (
                         comp + over + sw,
@@ -344,7 +356,7 @@ class ExecutionUnit:
 
             elif et is RemoteWriteBlock:
                 n = len(eff.values)
-                over += timing.pkt_gen * max(1, n)
+                over += pkt_gen * max(1, n)
                 base = eff.addr
                 # One logical write packet per word, as the hardware does.
                 for i, value in enumerate(eff.values):
@@ -364,7 +376,7 @@ class ExecutionUnit:
 
             elif et is Spawn:
                 words = _invoke_words(len(eff.args))
-                over += timing.pkt_gen * (words // 2)
+                over += pkt_gen * (words // 2)
                 emits.append(
                     (
                         comp + over + sw,
@@ -380,7 +392,7 @@ class ExecutionUnit:
                 counters.spawns_issued += 1
 
             elif et is Reply:
-                over += timing.pkt_gen
+                over += pkt_gen
                 cont_pe, cid = eff.continuation
                 emits.append(
                     (
@@ -397,8 +409,8 @@ class ExecutionUnit:
 
             elif et is Call:
                 words = _invoke_words(len(eff.args) + 1)
-                over += timing.pkt_gen * (words // 2)
-                sw += timing.reg_save
+                over += pkt_gen * (words // 2)
+                sw += reg_save
                 cid = proc.continuations.register(thread)
                 emits.append(
                     (
@@ -421,7 +433,7 @@ class ExecutionUnit:
                 if eff.token.holds(eff.seq):
                     comp += timing.int_op  # the successful inline check
                     continue
-                sw += timing.reg_save
+                sw += reg_save
                 self._switch(SwitchKind.THREAD_SYNC, thread)
                 eff.token.park(eff.seq, thread)
                 thread.transition(ThreadState.WAIT_TOKEN)
@@ -451,7 +463,7 @@ class ExecutionUnit:
                 if obs is not None:
                     obs.emit(BarrierEvent(engine.now, pe, bar.barrier_id, gen_no, "arrive"))
                 if last_local:
-                    over += timing.pkt_gen
+                    over += pkt_gen
                     emits.append(
                         (
                             comp + over + sw,
@@ -475,7 +487,7 @@ class ExecutionUnit:
                 break
 
             elif et is SwitchNow:
-                sw += timing.reg_save
+                sw += reg_save
                 self._switch(SwitchKind.EXPLICIT, thread)
                 thread.transition(ThreadState.READY)
                 local_resumes.append(
@@ -498,14 +510,17 @@ class ExecutionUnit:
         counters.add_cycles(Bucket.OVERHEAD, over)
         counters.add_cycles(Bucket.SWITCHING, sw)
         counters.note_active(t0, self.busy_until)
-        if proc.machine.config.trace:
+        if self._trace_on:
             proc.trace.append(TraceEvent(t0, self.busy_until, "burst", thread.name))
         if obs is not None:
             obs.emit(BurstSpan(t0, pe, self.busy_until, "burst", thread.name))
-        for off, pkt in emits:
-            proc.obu.inject_at(t0 + off, pkt)
-        for off, pkt in mid_resumes:
-            engine.schedule_at(t0 + off, proc.ibu.enqueue, pkt)
+        if emits:
+            inject_at = proc.obu.inject_at
+            for off, pkt in emits:
+                inject_at(t0 + off, pkt)
+        if mid_resumes:
+            for off, pkt in mid_resumes:
+                engine.schedule_at(t0 + off, proc.ibu.enqueue, pkt)
         for pkt in local_resumes:
             engine.schedule_at(self.busy_until, proc.ibu.enqueue, pkt)
 

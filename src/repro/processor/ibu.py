@@ -32,11 +32,18 @@ class InputBufferUnit:
 
     def __init__(self, proc) -> None:
         self._proc = proc
-        self._depth = proc.machine.config.ibu_fifo_depth
-        self._queues: dict[Priority, deque] = {
-            Priority.HIGH: deque(),
-            Priority.NORMAL: deque(),
-        }
+        # Construction-time caches: the machine wires config/engine/obs
+        # before building processors and never swaps them afterwards.
+        machine = proc.machine
+        self._machine = machine
+        self._engine = machine.engine
+        self._timing = machine.config.timing
+        self._em4 = machine.config.em4_mode
+        self._depth = machine.config.ibu_fifo_depth
+        # One deque per priority level, highest first (enum-keyed dict
+        # lookups were measurable on the receive path).
+        self._q_high: deque = deque()
+        self._q_normal: deque = deque()
         self._dma_free = 0
         self.received = 0
         self.dma_serviced = 0
@@ -49,7 +56,7 @@ class InputBufferUnit:
         self.received += 1
         kind = pkt.kind
         if kind in (PacketKind.READ_REQ, PacketKind.BLOCK_READ_REQ):
-            if self._proc.machine.config.em4_mode:
+            if self._em4:
                 self.enqueue(pkt)  # EXU will service it, EM-4 style
             else:
                 self._dma_service(pkt)
@@ -75,10 +82,10 @@ class InputBufferUnit:
             self.enqueue(fire)
             return
         if kind is PacketKind.SYNC_ARRIVE:
-            self._proc.machine.barrier_hub_arrive(pkt)
+            self._machine.barrier_hub_arrive(pkt)
             return
         if kind is PacketKind.SYNC_RELEASE:
-            self._proc.machine.barrier_release(self._proc.pe, pkt)
+            self._machine.barrier_release(self._proc.pe, pkt)
             return
         if kind in (PacketKind.WRITE,):
             # Remote writes complete in the IBU/MCU path, EXU untouched.
@@ -92,7 +99,7 @@ class InputBufferUnit:
     # ------------------------------------------------------------------
     def enqueue(self, pkt: Packet) -> None:
         """Queue a packet for the EXU (hardware FIFO scheduling)."""
-        q = self._queues[pkt.priority]
+        q = self._q_high if pkt.priority is Priority.HIGH else self._q_normal
         overflowed = len(q) >= self._depth
         if overflowed:
             self._proc.counters.ibu_overflows += 1
@@ -105,25 +112,24 @@ class InputBufferUnit:
         High-priority first, FIFO within a level.  Packets restored from
         the on-memory overflow buffer cost an extra memory access.
         """
-        for prio in (Priority.HIGH, Priority.NORMAL):
-            q = self._queues[prio]
-            if q:
-                pkt, overflowed = q.popleft()
-                extra = self._proc.machine.config.timing.mem_exchange if overflowed else 0
-                return pkt, extra
+        q = self._q_high or self._q_normal
+        if q:
+            pkt, overflowed = q.popleft()
+            extra = self._timing.mem_exchange if overflowed else 0
+            return pkt, extra
         return None
 
     @property
     def queued(self) -> int:
         """Packets waiting for the EXU."""
-        return sum(len(q) for q in self._queues.values())
+        return len(self._q_high) + len(self._q_normal)
 
     # ------------------------------------------------------------------
     # By-passing DMA read service (EM-X's key feature)
     # ------------------------------------------------------------------
     def _dma_service(self, pkt: Packet) -> None:
-        timing = self._proc.machine.config.timing
-        engine = self._proc.machine.engine
+        timing = self._timing
+        engine = self._engine
         if pkt.kind is PacketKind.READ_REQ:
             words = 2
         else:
@@ -132,7 +138,7 @@ class InputBufferUnit:
         start = max(engine.now, self._dma_free)
         done = start + cost
         self._dma_free = done
-        obs = self._proc.machine.obs
+        obs = self._machine.obs
         if obs is not None:
             obs.emit(BurstSpan(start, self._proc.pe, done, "dma", unit="ibu"))
         engine.schedule_at(done, self._dma_complete, pkt)
@@ -143,7 +149,7 @@ class InputBufferUnit:
         self.dma_serviced += 1
         offset = pkt.address & 0xFFFFFFFF
         reply_priority = (
-            Priority.HIGH if proc.machine.config.priority_replies else Priority.NORMAL
+            Priority.HIGH if self._machine.config.priority_replies else Priority.NORMAL
         )
         if pkt.kind is PacketKind.READ_REQ:
             cont = pkt.data

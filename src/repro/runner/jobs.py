@@ -80,11 +80,15 @@ class JobSpec:
 
     def validate(self) -> None:
         """Raise on an unrunnable spec (unknown app, nonsense sizes)."""
-        if self.app not in ("sort", "fft"):
+        from ..api import app_names
+
+        if self.app not in app_names():
             # ProgramError for compatibility with the pre-engine run_app.
             from ..errors import ProgramError
 
-            raise ProgramError(f"unknown app {self.app!r}; expected 'sort' or 'fft'")
+            raise ProgramError(
+                f"unknown app {self.app!r}; expected one of {', '.join(app_names())}"
+            )
         if self.n_pes < 1 or self.npp < 1 or self.h < 1:
             raise ConfigError(f"n_pes/npp/h must be >= 1, got {self}")
 

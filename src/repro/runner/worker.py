@@ -19,7 +19,7 @@ import contextlib
 import signal
 import threading
 
-from ..apps import run_bitonic, run_fft
+from ..api import get_app, result_ok
 from ..errors import ProgramError, SimulationError
 from ..metrics.serialize import run_record_from_report
 from .jobs import JobSpec
@@ -107,18 +107,10 @@ def execute_job(spec: JobSpec, *, trace_dir: str | None = None):
         bus = EventBus()
         recorder = RingRecorder(bus)
 
-    if spec.app == "sort":
-        result = run_bitonic(
-            spec.n_pes, n, spec.h, config=config, seed=spec.seed, obs=bus
-        )
-        verified = result.sorted_ok
-    elif spec.app == "fft":
-        result = run_fft(
-            spec.n_pes, n, spec.h, config=config, seed=spec.seed, obs=bus
-        )
-        verified = result.verified
-    else:  # pragma: no cover - validate() rejects this first
-        raise ProgramError(f"unknown app {spec.app!r}")
+    result = get_app(spec.app)(
+        n_pes=spec.n_pes, n=n, h=spec.h, config=config, seed=spec.seed, obs=bus
+    )
+    verified = result_ok(result)
     if not verified:
         raise ProgramError(f"{spec.app} run produced a wrong answer at {spec.describe()}")
 
