@@ -89,6 +89,7 @@ def _configure_runner(args: argparse.Namespace) -> None:
         use_cache=not args.no_cache,
         progress=_progress_printer(),
         trace_dir=getattr(args, "trace_dir", None),
+        shards=getattr(args, "shards", 0) or 0,
     )
 
 
@@ -213,8 +214,14 @@ def _cmd_app(args: argparse.Namespace) -> None:
         from .config import MachineConfig
 
         kwargs["config"] = MachineConfig(trace=True)
-    result = runner(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
-                    seed=args.seed, **kwargs)
+    kwargs.update(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
+                  seed=args.seed)
+    if args.shards:
+        from .sim import parallel
+
+        result = parallel.call_app(runner, args.shards, kwargs)
+    else:
+        result = runner(**kwargs)
     ok = result_ok(result)
     report = result.report
     if args.json:
@@ -259,9 +266,15 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 
     bus = EventBus()
     recorder = RingRecorder(bus, capacity=args.buffer)
-    result = get_app(args.app)(
+    kwargs = dict(
         n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed, obs=bus
     )
+    if args.shards:
+        from .sim import parallel
+
+        result = parallel.call_app(get_app(args.app), args.shards, kwargs)
+    else:
+        result = get_app(args.app)(**kwargs)
     ok = result_ok(result)
     report = result.report
     write_perfetto(args.out, recorder.events, n_pes=args.pes)
@@ -313,6 +326,11 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--threads", default=None, metavar="H,H,...",
                    help="comma-separated thread counts "
                         "(default: the paper's 1..16 sweep)")
+    p.add_argument("--shards", type=int, default=0, metavar="K",
+                   help="shard each simulation across K worker processes "
+                        "(conservative-window parallel run; 0 = legacy "
+                        "sequential models; jobs x shards is budgeted "
+                        "against the core count)")
     _add_runner_flags(p, default_jobs=None)
     p.set_defaults(func=_cmd_sweep)
 
@@ -338,6 +356,9 @@ def main(argv: list[str] | None = None) -> None:
                        help="render an ASCII per-PE activity timeline")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="record the run and write a Perfetto trace to FILE")
+        p.add_argument("--shards", type=int, default=0, metavar="K",
+                       help="run the simulation across K worker processes "
+                            "(0 = legacy sequential models)")
         p.set_defaults(func=_cmd_app, app=app)
 
     p = sub.add_parser(
@@ -354,6 +375,9 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--buffer", type=int, default=1_000_000, metavar="N",
                    help="ring-buffer capacity in events (default: %(default)s)")
+    p.add_argument("--shards", type=int, default=0, metavar="K",
+                   help="run the simulation across K worker processes "
+                        "(0 = legacy sequential models)")
     p.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)

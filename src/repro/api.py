@@ -130,18 +130,29 @@ def run(
     h: int,
     config: Any = None,
     obs: Any = None,
+    shards: int | None = None,
     **app_kwargs: Any,
 ) -> "MachineReport":
     """Run one workload and return its :class:`~repro.machine.MachineReport`.
 
     ``app`` is a registry name (see :func:`app_names`); ``n`` the problem
     size, ``n_pes`` the processor count, ``h`` the threads per processor.
+    ``shards=K`` runs the simulation itself across K worker processes
+    under the conservative-window scheme (see
+    :mod:`repro.sim.parallel`) — metrics are identical for every K ≥ 1,
+    while ``shards=None`` (default) keeps the legacy sequential models.
     Extra keywords are forwarded to the app (e.g. ``seed=``,
     ``verify=``, ``kernel=``).  Raises :class:`~repro.errors.ProgramError`
     for unknown apps or when the run fails its self-verification.
     """
     fn = get_app(app)
-    result = fn(n_pes=n_pes, n=n, h=h, config=config, obs=obs, **app_kwargs)
+    kwargs = dict(n_pes=n_pes, n=n, h=h, config=config, obs=obs, **app_kwargs)
+    if shards:
+        from .sim import parallel
+
+        result = parallel.call_app(fn, shards, kwargs)
+    else:
+        result = fn(**kwargs)
     if not result_ok(result):
         raise ProgramError(f"app {app!r} (n={n}, n_pes={n_pes}, h={h}) failed verification")
     return result.report

@@ -1,0 +1,385 @@
+"""Shard-partitionable Omega fabric for conservative-window parallel runs.
+
+This is the network model behind ``repro.run(..., shards=K)``.  The
+machine's PEs are partitioned into K contiguous shards, each advancing
+its own engine in lockstep *windows* of length L — the **lookahead**,
+the minimum injection-to-delivery latency any src≠dst packet can have —
+so a packet injected inside window W can never need delivering before
+window W+1.  See :mod:`repro.sim.parallel` for the window protocol.
+
+Two properties make the result independent of K:
+
+* **Per-source port planes.**  Every source PE owns a private replica
+  of the ports on its routes (``("inj", src)``, each ``("sw", node,
+  bit)``, ``("ej", dst)``), and a packet's full route is walked
+  *arithmetically at injection time* — the reservation-at-injection
+  scheme the analytic model always used, extended to the detailed
+  per-stage plan.  Contention is therefore modelled among packets of
+  one source only; since a source PE lives on exactly one shard, every
+  packet's arrival cycle is computed entirely where it is injected and
+  cannot depend on how the other PEs are partitioned.
+* **Canonical delivery order.**  No per-packet delivery events exist.
+  Arrivals append to a per-cycle pending list, and one *drain* event
+  per window cycle — pushed unconditionally at the window barrier, so
+  its bucket position is the same for every K — sorts its cycle's
+  records by ``(src_pe, per-source seq)`` and hands them to the
+  destination sinks.  Cross-shard records merge into the same lists at
+  the barrier under the same key, so the global delivery order is the
+  K-independent ``(cycle, src_pe, per-source seq)``.
+
+This is a *documented, distinct semantics* from the legacy live models
+(``shards=None``): the legacy detailed model arbitrates each interior
+port among **all** sources in true arrival order, which admits only a
+one-cycle lookahead and cannot be partitioned with useful windows.  On
+conflict-free traffic all three agree exactly (covered by tests); under
+load the sharded fabric is optimistic about cross-source interior
+contention.  ``shards=1`` runs this same semantics in-process, and the
+K ∈ {2, 4} differential tests compare against it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..config import MachineConfig
+from ..errors import NetworkError, SimulationError
+from ..network.stats import NetworkStats
+from ..obs.events import PacketDeliver, PacketHop
+from ..packet import Packet, PacketKind, Priority
+from .topology import CircularOmegaTopology
+
+__all__ = ["lookahead", "ShardedOmegaNetwork", "merge_network_stats"]
+
+
+def lookahead(config: MachineConfig) -> int:
+    """Minimum src≠dst injection-to-delivery latency, in cycles.
+
+    Both models deliver a k-hop packet no earlier than
+    ``inject + k + eject`` (injection reaches the first switch in the
+    same cycle, each later hop costs one cut-through cycle, ejection
+    costs ``timing.eject``; contention only delays).  The bound is the
+    minimum over *all* ordered pairs, not just cross-shard ones, so the
+    window length never depends on the partition.  Self-sends
+    (src == dst, latency ``eject``) are always intra-shard and exempt.
+    """
+    topo = CircularOmegaTopology(config.n_pes)
+    if config.n_pes < 2:
+        return config.timing.eject + 1
+    min_hops = None
+    for src in range(config.n_pes):
+        for dst in range(config.n_pes):
+            if src == dst:
+                continue
+            hops = topo.hop_count(src, dst)
+            if min_hops is None or hops < min_hops:
+                min_hops = hops
+                if min_hops == 1:
+                    return 1 + config.timing.eject
+    return min_hops + config.timing.eject
+
+
+def _delivery_order(record: tuple) -> tuple[int, int]:
+    """Sort key within one delivery cycle: (src_pe, per-source seq)."""
+    return (record[1], record[2])
+
+
+class ShardedOmegaNetwork:
+    """Omega fabric split into per-source planes with barrier delivery.
+
+    ``owns(pe)`` tells the network which destinations are local: their
+    arrivals go straight to the pending lists, the rest accumulate in
+    the *egress* list the window protocol ships at each barrier.
+    Delivery records are ``(arrival, src, sseq, hops, pkt)`` tuples —
+    picklable, self-contained, and carrying the canonical merge key.
+    """
+
+    def __init__(self, engine, config: MachineConfig, owns, obs=None) -> None:
+        if config.network_model not in ("detailed", "analytic"):
+            raise NetworkError(f"unknown network model {config.network_model!r}")
+        self.engine = engine
+        self.topology = CircularOmegaTopology(config.n_pes)
+        self.timing = config.timing
+        self.obs = obs
+        self.stats = NetworkStats()
+        self.owns = owns
+        self.lookahead = lookahead(config)
+        self._detailed = config.network_model == "detailed"
+        self._sinks: dict[int, object] = {}
+        #: src PE → its private ``{port: [next_free, busy]}`` plane.
+        self._planes: dict[int, dict] = {}
+        self._plans: dict[tuple[int, int], tuple] = {}
+        #: src PE → next per-source injection sequence number.
+        self._pe_seq: dict[int, int] = {}
+        #: arrival cycle → delivery records (local + ingested ingress).
+        self._pending: dict[int, list] = {}
+        self._egress: list = []
+        #: Local packet seq → canonical ``(src << 32) | sseq`` id, used
+        #: to remap ``PacketSend`` events (emitted by the OBU *before*
+        #: the network sees the packet) when shard traces merge.
+        self.seq_map: dict[int, int] = {}
+        #: Injection/arrival cycle histograms; the merged
+        #: ``max_in_flight`` is a canonical sweep over these.
+        self.born_counts: Counter = Counter()
+        self.arrival_counts: Counter = Counter()
+        #: Drain events fired — subtracted from ``engine.events_fired``
+        #: so the reported event count excludes protocol scaffolding
+        #: (whose count depends on the window sequence, not the model).
+        self.drains_fired = 0
+        self.in_flight = 0  # kept for interface parity; not tracked live
+        self._eject = self.timing.eject
+        self._cpp = self.timing.port_cycles_per_packet
+
+    # ------------------------------------------------------------------
+    def attach(self, pe: int, deliver) -> None:
+        """Register the packet sink (the PE's switching unit) for ``pe``."""
+        if pe in self._sinks:
+            raise NetworkError(f"PE {pe} already attached")
+        self._sinks[pe] = deliver
+
+    def probe_latency(self, src: int, dst: int) -> int:
+        """Uncongested one-way latency in cycles (k hops → k+1)."""
+        return self.topology.latency_cycles(src, dst)
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> None:
+        """Inject ``pkt`` now: walk its route, book its delivery record."""
+        dst = pkt.dst
+        if dst not in self._sinks:
+            raise NetworkError(f"packet to unattached PE {dst}: {pkt!r}")
+        now = self.engine.now
+        pkt.born = now
+        src = pkt.src
+        sseq = self._pe_seq.get(src, 0)
+        self._pe_seq[src] = sseq + 1
+        canon = (src << 32) | sseq
+        self.seq_map[pkt.seq] = canon
+        slots = pkt.slots(self._cpp)
+        plane = self._planes.get(src)
+        if plane is None:
+            plane = self._planes[src] = {}
+        stats = self.stats
+        if self._detailed:
+            plan = self._plans.get((src, dst))
+            if plan is None:
+                route = self.topology.route(src, dst)
+                plan = self._plans[(src, dst)] = (
+                    ("inj", src),
+                    *(("sw", h.node, h.bit) for h in route),
+                    ("ej", dst),
+                )
+            last = len(plan) - 1
+            hops = last - 1
+            obs = self.obs
+            t = now
+            arrival = now
+            for idx in range(last + 1):
+                port = plan[idx]
+                if obs is not None and 0 < idx < last:
+                    obs.emit(PacketHop(t, canon, port[1], port[2]))
+                rec = plane.get(port)
+                if rec is None:
+                    rec = plane[port] = [0, 0]
+                depart = rec[0]
+                if depart > t:
+                    wait = depart - t
+                    if wait > stats.max_port_wait:
+                        stats.max_port_wait = wait
+                else:
+                    depart = t
+                rec[0] = depart + slots
+                rec[1] += slots
+                if idx == last:
+                    arrival = depart + self._eject
+                else:
+                    # Injection into the first switch is immediate; each
+                    # shuffle hop afterwards costs one cut-through cycle.
+                    t = depart if idx == 0 else depart + 1
+        else:
+            hops = self.topology.hop_count(src, dst)
+            t = self._reserve(plane, ("inj", src), now, slots)
+            depart = self._reserve(plane, ("ej", dst), t + hops, slots)
+            arrival = depart + self._eject
+        stats.record(pkt, hops, arrival - now)
+        self.born_counts[now] += 1
+        self.arrival_counts[arrival] += 1
+        if self.owns(dst):
+            record = (arrival, src, sseq, hops, pkt)
+            bucket = self._pending.get(arrival)
+            if bucket is None:
+                self._pending[arrival] = [record]
+            else:
+                bucket.append(record)
+        else:
+            if arrival < now + self.lookahead:
+                raise SimulationError(
+                    f"lookahead violation: packet {src}->{dst} injected at "
+                    f"{now} arrives at {arrival} < {now + self.lookahead}"
+                )
+            # Boundary records are flattened to primitive tuples here,
+            # at injection: the window protocol pickles the egress list
+            # every barrier, and flat tuples serialise ~10x faster than
+            # Packet dataclass instances (measured; this is the hot part
+            # of the barrier's serial cost).
+            self._egress.append((
+                arrival, src, sseq, hops,
+                pkt.kind.value, dst, pkt.address, pkt.data, pkt.words,
+                pkt.priority.value, pkt.born, pkt.seq,
+            ))
+
+    def _reserve(self, plane: dict, port: tuple, earliest: int, slots: int) -> int:
+        rec = plane.get(port)
+        if rec is None:
+            rec = plane[port] = [0, 0]
+        depart = rec[0]
+        if depart > earliest:
+            wait = depart - earliest
+            if wait > self.stats.max_port_wait:
+                self.stats.max_port_wait = wait
+        else:
+            depart = earliest
+        rec[0] = depart + slots
+        rec[1] += slots
+        return depart
+
+    # ------------------------------------------------------------------
+    # Window protocol surface (driven by repro.sim.parallel)
+    # ------------------------------------------------------------------
+    def take_egress(self) -> list:
+        """Drain and return the boundary records since the last barrier.
+
+        Wire format (flat, pickle-cheap): ``(arrival, src, sseq, hops,
+        kind_value, dst, address, data, words, priority_value, born,
+        seq)``; :meth:`add_ingress` rebuilds the packets.
+        """
+        out = self._egress
+        self._egress = []
+        return out
+
+    def add_ingress(self, records: list) -> None:
+        """Merge another shard's egress records addressed to local PEs."""
+        owns = self.owns
+        pending = self._pending
+        for rec in records:
+            dst = rec[5]
+            if not owns(dst):
+                continue
+            pkt = Packet(
+                kind=PacketKind(rec[4]),
+                src=rec[1],
+                dst=dst,
+                address=rec[6],
+                data=rec[7],
+                words=rec[8],
+                priority=Priority(rec[9]),
+                born=rec[10],
+                seq=rec[11],
+            )
+            record = (rec[0], rec[1], rec[2], rec[3], pkt)
+            bucket = pending.get(rec[0])
+            if bucket is None:
+                pending[rec[0]] = [record]
+            else:
+                bucket.append(record)
+
+    def pending_min(self) -> int | None:
+        """Earliest cycle with an undelivered arrival, or ``None``."""
+        return min(self._pending) if self._pending else None
+
+    def push_drains(self, start: int, stop: int) -> None:
+        """Schedule one delivery drain per cycle of ``[start, stop)``.
+
+        Called at the window barrier, *after* every event of earlier
+        windows was pushed and *before* any event of this window runs —
+        a bucket position that is identical for every shard count,
+        which is what makes same-cycle delivery-vs-model ordering
+        deterministic and K-independent.
+        """
+        schedule_at = self.engine.schedule_at
+        drain = self._drain
+        for cycle in range(start, stop):
+            schedule_at(cycle, drain, cycle)
+
+    def _drain(self, cycle: int) -> None:
+        self.drains_fired += 1
+        records = self._pending.pop(cycle, None)
+        if records is None:
+            return
+        if len(records) > 1:
+            records.sort(key=_delivery_order)
+        obs = self.obs
+        sinks = self._sinks
+        for arrival, src, sseq, hops, pkt in records:
+            if obs is not None:
+                obs.emit(
+                    PacketDeliver(
+                        cycle,
+                        (src << 32) | sseq,
+                        pkt.kind,
+                        src,
+                        pkt.dst,
+                        cycle - pkt.born,
+                        hops,
+                    )
+                )
+            sinks[pkt.dst](pkt)
+
+    # ------------------------------------------------------------------
+    # Diagnostics (interface parity with OmegaNetworkBase)
+    # ------------------------------------------------------------------
+    def port_utilization(self, horizon: int | None = None) -> dict[tuple, float]:
+        """Busy fraction per port, summed across the per-source planes."""
+        span = horizon if horizon is not None else self.engine.now
+        if span <= 0:
+            return {}
+        busy: dict[tuple, int] = {}
+        for plane in self._planes.values():
+            for port, rec in plane.items():
+                busy[port] = busy.get(port, 0) + rec[1]
+        return {port: b / span for port, b in busy.items()}
+
+    def hottest_ports(self, top: int = 8, horizon: int | None = None):
+        """The ``top`` busiest ports, hottest first."""
+        util = self.port_utilization(horizon)
+        return sorted(util.items(), key=lambda kv: -kv[1])[:top]
+
+
+def merge_network_stats(
+    stats_list: list[NetworkStats],
+    born_counts: list[Counter],
+    arrival_counts: list[Counter],
+) -> NetworkStats:
+    """Combine per-shard :class:`NetworkStats` into one machine view.
+
+    Sums, maxima and histograms merge directly; ``max_in_flight`` is
+    recomputed with a canonical sweep over the merged injection/arrival
+    cycle histograms (arrivals counted before injections within a
+    cycle, matching the drain-before-model event order), so the value
+    is a pure function of packet (born, arrival) intervals — identical
+    for every shard count, including one.
+    """
+    merged = NetworkStats()
+    for st in stats_list:
+        merged.packets += st.packets
+        merged.words += st.words
+        merged.total_latency += st.total_latency
+        merged.total_hops += st.total_hops
+        if st.max_latency > merged.max_latency:
+            merged.max_latency = st.max_latency
+        if st.max_port_wait > merged.max_port_wait:
+            merged.max_port_wait = st.max_port_wait
+        merged.by_kind.update(st.by_kind)
+        merged.latency_hist.update(st.latency_hist)
+    born: Counter = Counter()
+    arrive: Counter = Counter()
+    for c in born_counts:
+        born.update(c)
+    for c in arrival_counts:
+        arrive.update(c)
+    current = peak = 0
+    for cycle in sorted(born.keys() | arrive.keys()):
+        current -= arrive.get(cycle, 0)
+        current += born.get(cycle, 0)
+        if current > peak:
+            peak = current
+    merged.max_in_flight = peak
+    return merged

@@ -1,0 +1,115 @@
+"""Merging per-shard event streams into one deterministic trace.
+
+A sharded run (:mod:`repro.sim.parallel`) gives each worker process its
+own event log; this module canonicalises the ids that are only unique
+*per process* and merges the streams into the single, totally ordered
+stream a sequential run of the same semantics would produce:
+
+* **Packet seqs** — ``Packet.seq`` comes from a per-process counter, so
+  raw values depend on the partition.  The sharded network computes a
+  canonical id ``(src_pe << 32) | per-source-seq`` for every injected
+  packet and emits its hop/deliver events with it directly; only
+  ``PacketSend`` (emitted by the OBU before the network assigns the
+  per-source seq) still carries the local id and is remapped here via
+  the network's ``seq_map``.
+* **Thread ids** — tids are allocated per machine instance, i.e. per
+  shard.  All ``ThreadLife("created")`` events are globally sorted by
+  ``(t, pe, local tid)`` (a PE lives on exactly one shard and creates
+  its threads in a deterministic order, so this sort is independent of
+  the partition) and each ``(shard, tid)`` is renamed to its dense rank.
+* **Order** — the merged stream is sorted by ``(t, type name, field
+  values)``, a total order over distinct events, so any two partitions
+  of the same run merge to the identical sequence.
+
+The Perfetto exporter additionally densifies packet/barrier ids by
+first appearance, so equal merged streams export byte-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import fields, replace
+
+from .events import BarrierEvent, PacketSend, ThreadLife
+
+__all__ = ["ShardEventLog", "merge_shard_events", "event_sort_key"]
+
+
+class ShardEventLog:
+    """Minimal ``EventBus`` stand-in: append every emitted event.
+
+    Installed as ``machine.obs`` inside each shard so emit sites run
+    unchanged; the collected events ship to the coordinating process at
+    the final barrier and are replayed into the user's real bus after
+    merging.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list = []
+
+    def emit(self, event) -> None:
+        self.events.append(event)
+
+    def wants(self, category) -> bool:
+        return True
+
+
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
+
+
+def event_sort_key(ev) -> tuple:
+    """Total-order key: ``(t, type name, normalised field values)``."""
+    et = type(ev)
+    names = _FIELD_NAMES.get(et)
+    if names is None:
+        names = _FIELD_NAMES[et] = tuple(f.name for f in fields(ev))
+    values = tuple(
+        v.value if isinstance(v, enum.Enum) else v
+        for v in (getattr(ev, name) for name in names)
+    )
+    return (ev.t, et.__name__, values)
+
+
+def _canonical_tids(streams: list[list]) -> dict[tuple[int, int], int]:
+    """``(shard, local tid) → dense global tid`` from creation order."""
+    creations: list[tuple[int, int, int, int]] = []
+    for shard, events in enumerate(streams):
+        for ev in events:
+            if type(ev) is ThreadLife and ev.state == "created":
+                creations.append((ev.t, ev.pe, ev.tid, shard))
+    creations.sort()
+    return {(shard, tid): rank for rank, (_, _, tid, shard) in enumerate(creations)}
+
+
+def merge_shard_events(streams: list[list], seq_maps: list[dict]) -> list:
+    """Canonicalise and merge per-shard event streams (see module doc)."""
+    tid_map = _canonical_tids(streams)
+    merged: list = []
+    for shard, events in enumerate(streams):
+        seq_map = seq_maps[shard] if shard < len(seq_maps) else {}
+        for ev in events:
+            et = type(ev)
+            if et is PacketSend:
+                canon = seq_map.get(ev.seq)
+                if canon is not None and canon != ev.seq:
+                    ev = replace(ev, seq=canon)
+            elif et is ThreadLife:
+                tid = tid_map.get((shard, ev.tid))
+                if tid is not None and tid != ev.tid:
+                    ev = replace(ev, tid=tid)
+            merged.append(ev)
+    merged.sort(key=event_sort_key)
+    # Barrier ids come from a process-global counter whose start value
+    # drifts across runs in one process (fork keeps it consistent
+    # *within* a run).  Shifting every id by a constant preserves the
+    # sort order above, so densifying by first appearance afterwards
+    # yields the same stream no matter where the counter started.
+    bar_map: dict[int, int] = {}
+    for i, ev in enumerate(merged):
+        if type(ev) is BarrierEvent:
+            bid = bar_map.setdefault(ev.barrier_id, len(bar_map))
+            if bid != ev.barrier_id:
+                merged[i] = replace(ev, barrier_id=bid)
+    return merged

@@ -58,10 +58,24 @@ class CacheStats:
     schema: int
     entries: int
     bytes: int
+    #: Aggregated execution cost of the entries that recorded it (older
+    #: entries predate the side channel): total simulation wall time and
+    #: the largest per-job peak RSS.  This is the data `cache stats`
+    #: surfaces for budgeting jobs × shards against a machine's cores
+    #: and memory.
+    timed_entries: int = 0
+    wall_seconds: float = 0.0
+    peak_rss_kb: int = 0
 
     def describe(self) -> str:
         kib = self.bytes / 1024.0
-        return f"{self.entries} entries, {kib:.1f} KiB at {self.root} (schema v{self.schema})"
+        line = f"{self.entries} entries, {kib:.1f} KiB at {self.root} (schema v{self.schema})"
+        if self.timed_entries:
+            line += (
+                f"\n{self.timed_entries} timed entries: {self.wall_seconds:.1f}s "
+                f"total wall, peak job RSS {self.peak_rss_kb / 1024.0:.1f} MiB"
+            )
+        return line
 
 
 class ResultCache:
@@ -117,6 +131,12 @@ class ResultCache:
             "spec": asdict(spec),
             "record": run_record_to_dict(record),
         }
+        # Wall time / peak RSS ride along when the record carries them
+        # (execute_job's side channel); never part of the record itself,
+        # so cached payload equality across processes is preserved.
+        exec_info = getattr(record, "_exec", None)
+        if exec_info is not None:
+            payload["exec"] = exec_info
         tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, path)
@@ -137,16 +157,39 @@ class ResultCache:
         return len(self._entries())
 
     def stats(self) -> CacheStats:
-        """Entry count and on-disk size for the current schema version."""
+        """Entry count, on-disk size and execution-cost aggregates for
+        the current schema version."""
         entries = self._entries()
         size = 0
+        timed = 0
+        wall = 0.0
+        peak_rss = 0
         for path in entries:
             try:
                 size += path.stat().st_size
             except OSError:  # pragma: no cover - racing deletion
                 pass
+            try:
+                exec_info = json.loads(path.read_text()).get("exec")
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(exec_info, dict):
+                continue
+            seconds = exec_info.get("wall_seconds")
+            if isinstance(seconds, (int, float)):
+                timed += 1
+                wall += seconds
+            rss = exec_info.get("max_rss_kb")
+            if isinstance(rss, int) and rss > peak_rss:
+                peak_rss = rss
         return CacheStats(
-            root=str(self.root), schema=SCHEMA_VERSION, entries=len(entries), bytes=size
+            root=str(self.root),
+            schema=SCHEMA_VERSION,
+            entries=len(entries),
+            bytes=size,
+            timed_entries=timed,
+            wall_seconds=wall,
+            peak_rss_kb=peak_rss,
         )
 
     def purge(self) -> int:

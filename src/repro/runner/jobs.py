@@ -77,6 +77,12 @@ class JobSpec:
     network_model: str = "detailed"
     priority_replies: bool = False
     seed: int = 0
+    #: 0 = legacy sequential simulation; K >= 1 runs the sharded
+    #: conservative-window semantics (see :mod:`repro.sim.parallel`)
+    #: across K worker processes.  Metrics are K-independent, so the
+    #: cache key only records *that* the sharded semantics was used,
+    #: never the worker count.
+    shards: int = 0
 
     def validate(self) -> None:
         """Raise on an unrunnable spec (unknown app, nonsense sizes)."""
@@ -113,6 +119,10 @@ class JobSpec:
             "seed": self.seed,
             "machine": machine_fingerprint(self.config()),
         }
+        if self.shards:
+            # The sharded network is a distinct (K-independent)
+            # semantics; legacy specs keep their historical keys.
+            payload["sharded"] = True
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -127,6 +137,8 @@ class JobSpec:
             extras.append("prio")
         if self.seed:
             extras.append(f"seed={self.seed}")
+        if self.shards:
+            extras.append(f"shards={self.shards}")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"{self.app} P={self.n_pes} n/P={self.npp} h={self.h}{suffix}"
 

@@ -69,10 +69,18 @@ class RunnerOptions:
     #: under this directory (cache hits produce no artifact; the cache
     #: key is unaffected).
     trace_dir: str | None = None
+    #: Shard workers *per job* (conservative-window parallel simulation,
+    #: :mod:`repro.sim.parallel`).  0 = legacy sequential simulation;
+    #: K >= 1 runs jobs whose specs don't pin ``shards`` under the
+    #: sharded semantics with K processes each.  The pool fan-out is
+    #: clamped so jobs × shards never oversubscribes the machine.
+    shards: int = 0
 
     def validate(self) -> None:
         if self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
+        if self.shards < 0:
+            raise ConfigError(f"shards must be >= 0, got {self.shards}")
         if self.timeout is not None and self.timeout <= 0:
             raise ConfigError(f"timeout must be positive, got {self.timeout}")
 
@@ -174,9 +182,19 @@ def _write_back(cache: ResultCache | None, spec: JobSpec, record) -> None:
         cache.put(spec, record)
 
 
+def _exec_spec(spec: JobSpec, options: RunnerOptions) -> JobSpec:
+    """The spec actually executed: ``options.shards`` applied unless the
+    spec pins its own shard count (memo and cache key off this one, so
+    sharded results never alias legacy entries)."""
+    if options.shards and not spec.shards:
+        return replace(spec, shards=options.shards)
+    return spec
+
+
 def run_job(spec: JobSpec, *, options: RunnerOptions | None = None):
     """Satisfy one job: memo, then disk, then execute in-process."""
     options = options or _options
+    spec = _exec_spec(spec, options)
     cache = _cache_for(options)
     hit = _memo.get(spec)
     if hit is not None:
@@ -209,50 +227,59 @@ def run_specs(
     """
     options = options or _options
     ordered = dedupe(specs)
+    exec_of = {spec: _exec_spec(spec, options) for spec in ordered}
     results: dict[JobSpec, object] = {}
     misses: list[JobSpec] = []
 
     cache = _cache_for(options)
     for spec in ordered:
-        hit = _memo.get(spec)
+        espec = exec_of[spec]
+        hit = _memo.get(espec)
         if hit is not None:
             _stats.memo_hits += 1
-            _write_back(cache, spec, hit)
+            _write_back(cache, espec, hit)
             results[spec] = hit
             continue
         if cache is not None:
-            record = cache.get(spec)
+            record = cache.get(espec)
             if record is not None:
                 _stats.disk_hits += 1
-                _memo[spec] = record
+                _memo[espec] = record
                 results[spec] = record
                 continue
         misses.append(spec)
 
     if misses:
-        status = PoolStatus(
-            total=len(ordered), workers=options.jobs, cached=len(results)
-        )
+        especs = dedupe(exec_of[spec] for spec in misses)
+        workers = options.jobs
+        if options.shards > 1 and workers > 1:
+            # Every sharded job occupies `shards` cores: budget the pool
+            # so jobs × shards stays within the machine.
+            import os
+
+            workers = max(1, min(workers, (os.cpu_count() or 1) // options.shards))
+        status = PoolStatus(total=len(ordered), workers=workers, cached=len(results))
         if options.progress is not None:
             options.progress(status)
         worker = run_job_worker
         if options.trace_dir is not None:
             worker = functools.partial(run_job_worker, trace_dir=options.trace_dir)
         executed = run_jobs(
-            misses,
-            jobs=options.jobs,
+            especs,
+            jobs=workers,
             timeout=options.timeout,
             worker=worker,
             progress=options.progress,
             status=status,
         )
-        for spec in misses:
-            record = executed[spec]
+        for espec in especs:
+            record = executed[espec]
             _stats.executed += 1
-            _memo[spec] = record
-            results[spec] = record
+            _memo[espec] = record
             if cache is not None:
-                cache.put(spec, record)
+                cache.put(espec, record)
+        for spec in misses:
+            results[spec] = _memo[exec_of[spec]]
     return {spec: results[spec] for spec in ordered}
 
 

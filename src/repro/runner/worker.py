@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import contextlib
 import signal
+import sys
 import threading
+import time
 
 from ..api import get_app, result_ok
 from ..errors import ProgramError, SimulationError
@@ -107,9 +109,17 @@ def execute_job(spec: JobSpec, *, trace_dir: str | None = None):
         bus = EventBus()
         recorder = RingRecorder(bus)
 
-    result = get_app(spec.app)(
+    started = time.perf_counter()
+    fn = get_app(spec.app)
+    kwargs = dict(
         n_pes=spec.n_pes, n=n, h=spec.h, config=config, seed=spec.seed, obs=bus
     )
+    if spec.shards:
+        from ..sim import parallel
+
+        result = parallel.call_app(fn, spec.shards, kwargs)
+    else:
+        result = fn(**kwargs)
     verified = result_ok(result)
     if not verified:
         raise ProgramError(f"{spec.app} run produced a wrong answer at {spec.describe()}")
@@ -124,9 +134,37 @@ def execute_job(spec: JobSpec, *, trace_dir: str | None = None):
             trace_artifact_path(trace_dir, spec), recorder.events, n_pes=spec.n_pes
         )
 
-    return run_record_from_report(
+    record = run_record_from_report(
         spec.app, spec.n_pes, spec.npp, spec.h, result.report, verified
     )
+    # Execution cost rides along as a side channel, NOT a RunRecord
+    # field: the record stays a pure function of the simulated run
+    # (serialisation, equality and cached payloads are unchanged), and
+    # the cache layer persists this separately for `cache stats`.
+    object.__setattr__(
+        record,
+        "_exec",
+        {
+            "wall_seconds": time.perf_counter() - started,
+            "max_rss_kb": _max_rss_kb(),
+        },
+    )
+    return record
+
+
+def _max_rss_kb() -> int | None:
+    """Peak RSS of this process (and its reaped shard children), in KiB."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    children = resource.getrusage(resource.RUSAGE_CHILDREN)
+    peak = max(usage.ru_maxrss, children.ru_maxrss)
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        peak //= 1024
+    return int(peak)
 
 
 def run_job_worker(

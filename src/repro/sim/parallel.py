@@ -1,0 +1,464 @@
+"""Conservative-window parallel simulation across forked shard workers.
+
+``repro.run(..., shards=K)`` partitions the machine's PEs into K
+contiguous shards.  Each shard is a process running its own
+:class:`~repro.sim.engine.Engine` over its own PEs, advancing in
+lockstep *windows* of length L — the fabric lookahead (see
+:func:`repro.network.sharded.lookahead`) — so no packet injected inside
+a window can need delivering before the next one.  The protocol, per
+window barrier:
+
+1. every shard broadcasts its boundary packets (*egress*) plus the
+   earliest cycle it has any local work (engine queue or pending
+   arrivals), computed *before* ingesting this round's ingress;
+2. every shard computes the identical next window start
+   ``T = min(all local-next, all egress arrival cycles)`` — windows
+   skip idle gaps, and ``T = ∞`` terminates the run everywhere at once;
+3. each shard ingests the egress addressed to it, schedules one
+   delivery drain per cycle of ``[T, T + L)``, and runs its engine to
+   ``T + L - 1``.
+
+Transport is a full mesh of ``multiprocessing`` pipes between the
+coordinating process (shard 0) and ``os.fork``'d children, mirroring
+``runner.pool``'s failure policy: a shard that hits a deterministic
+error broadcasts it so every process raises the same exception type,
+and a shard that just dies surfaces as a loud
+:class:`~repro.errors.SimulationError` (closed pipe / nonzero exit),
+never a hang or a silent partial result.
+
+At the final barrier the children ship their owned PEs' counters,
+memories, traces, network statistics and event logs to shard 0, which
+merges them (deterministically — see :mod:`repro.obs.merge` and
+:func:`repro.network.sharded.merge_network_stats`) and builds the one
+:class:`~repro.machine.MachineReport` the caller sees.  Every metric in
+that report is a pure function of the simulated run, not the partition:
+K ∈ {1, 2, 4, …} produce identical reports.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import signal
+import sys
+from dataclasses import dataclass
+
+from ..errors import DeadlockError, SimulationError
+
+__all__ = [
+    "ShardSpec",
+    "ShardContext",
+    "active_context",
+    "activate",
+    "partition",
+    "call_app",
+    "run_windowed",
+]
+
+_INF = float("inf")
+
+
+def partition(n_pes: int, count: int) -> tuple[tuple[int, int], ...]:
+    """Contiguous, near-equal ``(lo, hi)`` PE ranges for each shard."""
+    if count < 1 or count > n_pes:
+        raise SimulationError(f"cannot split {n_pes} PEs into {count} shards")
+    return tuple(
+        ((n_pes * i) // count, (n_pes * (i + 1)) // count) for i in range(count)
+    )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """This process's slice of the machine: which PEs it simulates."""
+
+    index: int
+    count: int
+    bounds: tuple[tuple[int, int], ...]
+
+    def owns(self, pe: int) -> bool:
+        lo, hi = self.bounds[self.index]
+        return lo <= pe < hi
+
+
+@dataclass
+class ShardContext:
+    """Active shard identity + the barrier transport, set around an app
+    call so :class:`~repro.machine.EMX` can discover it at build time."""
+
+    spec: ShardSpec
+    exchange: object
+
+
+_ACTIVE: ShardContext | None = None
+
+
+def active_context() -> ShardContext | None:
+    """The shard context the current process is running under, if any."""
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activate(ctx: ShardContext):
+    """Scope ``ctx`` as the active shard context."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise SimulationError("nested shard contexts are not supported")
+    _ACTIVE = ctx
+    try:
+        yield ctx
+    finally:
+        _ACTIVE = None
+
+
+class _ShardChildDone(BaseException):
+    """Raised inside child shards once their results have shipped;
+    unwinds straight through the app to the fork trampoline.  Derives
+    from BaseException so guest-level ``except Exception`` cannot eat
+    it."""
+
+
+class _RemoteShardError(Exception):
+    """A peer shard reported a failure over the exchange."""
+
+    def __init__(self, shard: int, type_name: str, message: str) -> None:
+        super().__init__(f"shard {shard}: {type_name}: {message}")
+        self.shard = shard
+        self.type_name = type_name
+        self.message = message
+
+
+def _rehydrate(exc: _RemoteShardError) -> Exception:
+    """Re-raise a peer's failure as its original repro error type."""
+    from .. import errors
+
+    cls = getattr(errors, exc.type_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = SimulationError
+    return cls(f"shard {exc.shard}: {exc.message}")
+
+
+# ----------------------------------------------------------------------
+# Exchanges
+# ----------------------------------------------------------------------
+class LoopbackExchange:
+    """K = 1: the window protocol talking to itself, in-process."""
+
+    def window_barrier(self, payload):
+        return [payload]
+
+    def gather_to_root(self, blob):
+        return [blob]
+
+    def broadcast_error(self, exc) -> None:
+        pass
+
+
+class PipeExchange:
+    """Pairwise-pipe mesh between the K shard processes.
+
+    Window barriers are all-to-all: each pair exchanges its (small)
+    payload with the lower-indexed side sending first, sessions ordered
+    by ascending peer index — each rendezvous completes without
+    requiring progress from a third process, so the pattern cannot
+    deadlock, and window payloads stay far below the pipe buffer.  The
+    final gather is a plain fan-in to shard 0 (blobs can be large;
+    children only send, the root drains them in index order).
+    """
+
+    def __init__(self, index: int, count: int, conns: list) -> None:
+        self.index = index
+        self.count = count
+        self.conns = conns  # conns[j] = Connection to shard j (None at own slot)
+
+    def _send(self, peer: int, blob: bytes) -> None:
+        try:
+            self.conns[peer].send_bytes(blob)
+        except (BrokenPipeError, OSError) as exc:
+            raise SimulationError(
+                f"shard {peer} crashed (pipe closed while sending): {exc}"
+            ) from None
+
+    def _recv(self, peer: int):
+        try:
+            msg = pickle.loads(self.conns[peer].recv_bytes())
+        except (EOFError, OSError) as exc:
+            raise SimulationError(
+                f"shard {peer} crashed (pipe closed while receiving): {exc}"
+            ) from None
+        if msg[0] == "err":
+            raise _RemoteShardError(peer, msg[1], msg[2])
+        return msg
+
+    def window_barrier(self, payload):
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        out = [None] * self.count
+        out[self.index] = payload
+        for peer in range(self.count):
+            if peer == self.index:
+                continue
+            if self.index < peer:
+                self._send(peer, blob)
+                out[peer] = self._expect(self._recv(peer), "w", peer)
+            else:
+                out[peer] = self._expect(self._recv(peer), "w", peer)
+                self._send(peer, blob)
+        return out
+
+    def gather_to_root(self, blob):
+        if self.index == 0:
+            blobs = [None] * self.count
+            blobs[0] = blob
+            for peer in range(1, self.count):
+                blobs[peer] = self._expect(self._recv(peer), "done", peer)
+            return blobs
+        self._send(0, pickle.dumps(("done", blob), protocol=pickle.HIGHEST_PROTOCOL))
+        return None
+
+    @staticmethod
+    def _expect(msg, tag: str, peer: int):
+        if msg[0] != tag:
+            raise SimulationError(
+                f"shard protocol desync: expected {tag!r} from shard {peer}, "
+                f"got {msg[0]!r}"
+            )
+        return msg[1] if tag == "done" else msg
+
+    def broadcast_error(self, exc) -> None:
+        if isinstance(exc, _ShardChildDone):
+            return
+        try:
+            blob = pickle.dumps(("err", type(exc).__name__, str(exc)))
+        except Exception:  # pragma: no cover - unpicklable message
+            blob = pickle.dumps(("err", type(exc).__name__, "<unprintable>"))
+        for peer, conn in enumerate(self.conns):
+            if conn is None:
+                continue
+            try:
+                conn.send_bytes(blob)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Entry point: run an app under K shards
+# ----------------------------------------------------------------------
+def call_app(fn, shards: int | None, kwargs: dict):
+    """Call app ``fn(**kwargs)``, optionally under ``shards`` workers.
+
+    ``shards`` of ``None``/``0`` is the legacy sequential path — the
+    live network models, untouched.  ``shards >= 1`` selects the
+    sharded semantics (see :mod:`repro.network.sharded`); K is clamped
+    to the PE count, K = 1 runs it in-process, and K > 1 forks K - 1
+    workers that replay the (deterministic, seeded) app setup and
+    simulate their own PEs.  One call, one run: the machine a sharded
+    app builds cannot be re-run after its report is returned.
+    """
+    if not shards:
+        return fn(**kwargs)
+    n_pes = kwargs.get("n_pes")
+    if not isinstance(n_pes, int) or n_pes < 1:
+        raise SimulationError(f"sharded run needs an explicit n_pes, got {n_pes!r}")
+    count = max(1, min(int(shards), n_pes))
+    bounds = partition(n_pes, count)
+    if count == 1:
+        with activate(ShardContext(ShardSpec(0, 1, bounds), LoopbackExchange())):
+            return fn(**kwargs)
+    if not hasattr(os, "fork"):  # pragma: no cover - POSIX-only feature
+        raise SimulationError("shards > 1 requires a platform with os.fork")
+
+    import multiprocessing
+
+    conns = [[None] * count for _ in range(count)]
+    for i in range(count):
+        for j in range(i + 1, count):
+            a, b = multiprocessing.Pipe()
+            conns[i][j] = a
+            conns[j][i] = b
+    sys.stdout.flush()
+    sys.stderr.flush()
+    pids = []
+    for index in range(1, count):
+        pid = os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                _keep_only(conns, index)
+                ctx = ShardContext(
+                    ShardSpec(index, count, bounds),
+                    PipeExchange(index, count, conns[index]),
+                )
+                with activate(ctx):
+                    fn(**kwargs)
+            except _ShardChildDone:
+                status = 0
+            except BaseException:  # noqa: BLE001 - the err broadcast already ran
+                status = 1
+            os._exit(status)
+        pids.append(pid)
+    _keep_only(conns, 0)
+    try:
+        ctx = ShardContext(ShardSpec(0, count, bounds), PipeExchange(0, count, conns[0]))
+        with activate(ctx):
+            result = fn(**kwargs)
+    except BaseException:
+        _reap(pids, kill=True)
+        raise
+    _reap(pids, kill=False)
+    return result
+
+
+def _keep_only(conns: list[list], index: int) -> None:
+    """Close every pipe end that does not belong to shard ``index``."""
+    for i, row in enumerate(conns):
+        if i == index:
+            continue
+        for j, conn in enumerate(row):
+            if conn is not None and j != index:
+                conn.close()
+
+
+def _reap(pids: list[int], kill: bool) -> None:
+    for pid in pids:
+        if kill:
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        try:
+            _, status = os.waitpid(pid, 0)
+        except ChildProcessError:  # pragma: no cover - already reaped
+            continue
+        if not kill and status != 0:
+            raise SimulationError(
+                f"shard worker {pid} exited with status {os.waitstatus_to_exitcode(status)}"
+            )
+
+
+# ----------------------------------------------------------------------
+# The window protocol (driven from EMX.run)
+# ----------------------------------------------------------------------
+def run_windowed(machine, until: int | None = None):
+    """Advance a sharded machine in conservative windows to completion.
+
+    Returns the merged :class:`~repro.machine.MachineReport` in the
+    coordinating process; raises :class:`_ShardChildDone` in child
+    shards once their results have shipped.
+    """
+    ctx = machine.shard
+    exchange = ctx.exchange
+    engine = machine.engine
+    net = machine.network
+    engine.quiescence_watcher = None  # stuck work is judged globally, post-gather
+    L = net.lookahead
+    try:
+        while True:
+            qnext = engine.queue.peek_time()
+            pnext = net.pending_min()
+            local_next = qnext if pnext is None else (
+                pnext if qnext is None else min(qnext, pnext)
+            )
+            replies = exchange.window_barrier(("w", net.take_egress(), local_next))
+            global_next = _INF
+            for _, egress, peer_next in replies:
+                if peer_next is not None and peer_next < global_next:
+                    global_next = peer_next
+                for record in egress:
+                    if record[0] < global_next:
+                        global_next = record[0]
+            for index, (_, egress, _) in enumerate(replies):
+                if index != ctx.spec.index and egress:
+                    net.add_ingress(egress)
+            if global_next is _INF:
+                break
+            start = int(global_next)
+            if start > engine.max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded max_cycles={engine.max_cycles} "
+                    f"(next event at {start}); runaway guest program?"
+                )
+            horizon = start + L - 1
+            if until is not None:
+                if start > until:
+                    break
+                horizon = min(horizon, until)
+            net.push_drains(start, horizon + 1)
+            engine.run(until=horizon)
+    except _RemoteShardError as exc:
+        raise _rehydrate(exc) from None
+    except BaseException as exc:
+        exchange.broadcast_error(exc)
+        raise
+    try:
+        blobs = exchange.gather_to_root(_gather_blob(machine))
+    except _RemoteShardError as exc:
+        raise _rehydrate(exc) from None
+    if blobs is None:
+        raise _ShardChildDone()
+    return _finalize(machine, blobs)
+
+
+def _gather_blob(machine) -> dict:
+    """Everything one shard contributes to the merged report."""
+    spec = machine.shard.spec
+    owned = [p for p in machine.pes if spec.owns(p.pe)]
+    log = machine.obs
+    return {
+        "counters": {p.pe: p.counters for p in owned},
+        "memory": {p.pe: p.memory._words for p in owned},
+        "trace": {p.pe: p.trace for p in owned},
+        "stats": machine.network.stats,
+        "born": machine.network.born_counts,
+        "arrive": machine.network.arrival_counts,
+        "events": machine.engine.events_fired - machine.network.drains_fired,
+        "obs": log.events if log is not None else None,
+        "seq_map": machine.network.seq_map if log is not None else {},
+        "stuck": machine._stuck_report(),
+    }
+
+
+def _finalize(machine, blobs: list[dict]):
+    """Merge the shard blobs into the machine and build its report."""
+    from ..machine.machine import MachineReport
+    from ..network.sharded import merge_network_stats
+
+    spec = machine.shard.spec
+    for index, blob in enumerate(blobs):
+        if index == spec.index:
+            continue
+        for pe, counters in blob["counters"].items():
+            machine.pes[pe].counters = counters
+        for pe, words in blob["memory"].items():
+            machine.pes[pe].memory._words = words
+        for pe, trace in blob["trace"].items():
+            machine.pes[pe].trace = trace
+    stuck = [s for blob in blobs if (s := blob["stuck"])]
+    if stuck:
+        raise DeadlockError("event queue drained with live work: " + "; ".join(stuck))
+    machine.network.stats = merge_network_stats(
+        [blob["stats"] for blob in blobs],
+        [blob["born"] for blob in blobs],
+        [blob["arrive"] for blob in blobs],
+    )
+    real_bus = machine._outer_obs
+    if real_bus is not None:
+        from ..obs.merge import merge_shard_events
+
+        merged = merge_shard_events(
+            [blob["obs"] or [] for blob in blobs],
+            [blob["seq_map"] for blob in blobs],
+        )
+        emit = real_bus.emit
+        for event in merged:
+            emit(event)
+    runtime = max((p.counters.last_active for p in machine.pes), default=0)
+    for proc in machine.pes:
+        proc.counters.check_accounting()
+    return MachineReport(
+        config=machine.config,
+        runtime_cycles=runtime,
+        events_fired=sum(blob["events"] for blob in blobs),
+        counters=[p.counters for p in machine.pes],
+        network=machine.network.stats,
+        traces=machine.traces() if machine.config.trace else None,
+    )
