@@ -43,6 +43,7 @@ from .events import (
     PacketDeliver,
     PacketHop,
     PacketSend,
+    ServiceEvent,
     ThreadLife,
     ThreadSwitch,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "MatchEvent",
     "BarrierEvent",
     "ThreadLife",
+    "ServiceEvent",
     "EventBus",
     "RingRecorder",
     "PacketSpan",

@@ -27,6 +27,8 @@ from .jobs import (
     expand_figures,
     expand_sweep,
     machine_fingerprint,
+    spec_from_dict,
+    spec_to_dict,
 )
 from .pool import PoolStatus, run_jobs
 from .sweep import (
@@ -45,7 +47,15 @@ from .sweep import (
     sweep_threads,
     using,
 )
-from .worker import JobTimeout, execute_job, run_job_worker, trace_artifact_path
+from .worker import (
+    BatchOutcome,
+    JobTimeout,
+    execute_batch,
+    execute_job,
+    run_batch_worker,
+    run_job_worker,
+    trace_artifact_path,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -53,6 +63,8 @@ __all__ = [
     "JobSpec",
     "machine_fingerprint",
     "dedupe",
+    "spec_to_dict",
+    "spec_from_dict",
     "expand_sweep",
     "expand_figures",
     "ENV_CACHE_DIR",
@@ -64,6 +76,9 @@ __all__ = [
     "JobTimeout",
     "execute_job",
     "run_job_worker",
+    "BatchOutcome",
+    "execute_batch",
+    "run_batch_worker",
     "trace_artifact_path",
     "RunnerOptions",
     "RunStats",

@@ -27,11 +27,13 @@ Safety properties:
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
 import shutil
-from dataclasses import asdict, dataclass
+import threading
+from dataclasses import asdict, dataclass, field
 
 from ..metrics.serialize import run_record_from_dict, run_record_to_dict
 from .jobs import SCHEMA_VERSION, JobSpec
@@ -66,6 +68,26 @@ class CacheStats:
     timed_entries: int = 0
     wall_seconds: float = 0.0
     peak_rss_kb: int = 0
+    #: Live lookup counters of the :class:`ResultCache` instance that
+    #: produced this snapshot (hits/misses/writes/discards, plus any
+    #: counters a composing layer folds in — the sweep service adds
+    #: ``dedup``).  A fresh CLI process reports zeros; the shape is the
+    #: shared schema between ``cache stats --json`` and the service's
+    #: status endpoint.
+    counters: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form — the one stats schema every surface shares."""
+        return {
+            "root": self.root,
+            "schema": self.schema,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "timed_entries": self.timed_entries,
+            "wall_seconds": self.wall_seconds,
+            "peak_rss_kb": self.peak_rss_kb,
+            "counters": dict(self.counters),
+        }
 
     def describe(self) -> str:
         kib = self.bytes / 1024.0
@@ -78,11 +100,24 @@ class CacheStats:
         return line
 
 
+#: Process-wide uniquifier for temp-file names: two threads of one
+#: process writing the same key share a pid, so pid alone can collide.
+_TMP_SEQ = itertools.count()
+
+
 class ResultCache:
     """Hash-keyed store of :class:`~repro.experiments.common.RunRecord`."""
 
     def __init__(self, root: str | os.PathLike | None = None):
         self.root = pathlib.Path(root).expanduser() if root else default_cache_root()
+        #: Live per-instance lookup accounting, surfaced by
+        #: :meth:`stats` (and through it the service status endpoint).
+        self.counters: dict[str, int] = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "discards": 0,
+        }
 
     # ------------------------------------------------------------------
     # Paths
@@ -109,17 +144,22 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except FileNotFoundError:
+            self.counters["misses"] += 1
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self._discard(path)
+            self.counters["misses"] += 1
             return None
         try:
             if payload["schema"] != SCHEMA_VERSION or payload["key"] != spec.key():
                 raise ValueError("stale or mismatched cache entry")
-            return run_record_from_dict(payload["record"])
+            record = run_record_from_dict(payload["record"])
         except (KeyError, TypeError, ValueError):
             self._discard(path)
+            self.counters["misses"] += 1
             return None
+        self.counters["hits"] += 1
+        return record
 
     def put(self, spec: JobSpec, record) -> pathlib.Path:
         """Store ``record`` under ``spec``'s key (atomic tmp+rename)."""
@@ -137,9 +177,24 @@ class ResultCache:
         exec_info = getattr(record, "_exec", None)
         if exec_info is not None:
             payload["exec"] = exec_info
-        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
-        tmp.write_text(json.dumps(payload, sort_keys=True))
-        os.replace(tmp, path)
+        # Unique per (pid, thread, sequence): concurrent writers of the
+        # same key — two pool processes, or two service batch threads —
+        # each write their own temp file and race only on the atomic
+        # rename, where last-writer-wins is idempotent (same content).
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}"
+            f".{next(_TMP_SEQ)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        self.counters["writes"] += 1
         return path
 
     def __contains__(self, spec: JobSpec) -> bool:
@@ -190,6 +245,7 @@ class ResultCache:
             timed_entries=timed,
             wall_seconds=wall,
             peak_rss_kb=peak_rss,
+            counters=dict(self.counters),
         )
 
     def purge(self) -> int:
@@ -199,8 +255,8 @@ class ResultCache:
         shutil.rmtree(self.root, ignore_errors=True)
         return dropped
 
-    @staticmethod
-    def _discard(path: pathlib.Path) -> None:
+    def _discard(self, path: pathlib.Path) -> None:
+        self.counters["discards"] += 1
         try:
             path.unlink()
         except OSError:  # pragma: no cover - racing deletion

@@ -38,6 +38,8 @@ __all__ = [
     "JobSpec",
     "machine_fingerprint",
     "dedupe",
+    "spec_to_dict",
+    "spec_from_dict",
     "expand_sweep",
     "expand_figures",
     "FIGURES",
@@ -146,6 +148,52 @@ class JobSpec:
 def dedupe(specs: Iterable[JobSpec]) -> list[JobSpec]:
     """Drop duplicate specs, preserving first-seen order."""
     return list(dict.fromkeys(specs))
+
+
+def spec_to_dict(spec: JobSpec) -> dict:
+    """A :class:`JobSpec` as a JSON-safe dict (the service wire format)."""
+    return asdict(spec)
+
+
+#: Wire fields whose absence means "take the JobSpec default".
+_SPEC_FIELDS = {
+    "app": str,
+    "n_pes": int,
+    "npp": int,
+    "h": int,
+    "em4_mode": bool,
+    "network_model": str,
+    "priority_replies": bool,
+    "seed": int,
+    "shards": int,
+}
+_SPEC_REQUIRED = ("app", "n_pes", "npp", "h")
+
+
+def spec_from_dict(payload: dict) -> JobSpec:
+    """Rebuild a :class:`JobSpec` from :func:`spec_to_dict` output.
+
+    The service's admission path: strict on shape (unknown fields and
+    missing required ones raise :class:`~repro.errors.ConfigError`, so a
+    client typo can never silently hash to a fresh key) but tolerant of
+    omitted optionals, which take the dataclass defaults.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError(f"job spec must be an object, got {type(payload).__name__}")
+    unknown = set(payload) - set(_SPEC_FIELDS)
+    if unknown:
+        raise ConfigError(f"unknown job-spec fields {sorted(unknown)}")
+    missing = [name for name in _SPEC_REQUIRED if name not in payload]
+    if missing:
+        raise ConfigError(f"job spec missing required fields {missing}")
+    kwargs = {}
+    for name, value in payload.items():
+        convert = _SPEC_FIELDS[name]
+        try:
+            kwargs[name] = convert(value)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"bad job-spec field {name}={value!r}: {exc}") from None
+    return JobSpec(**kwargs)
 
 
 def expand_sweep(

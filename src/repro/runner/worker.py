@@ -7,10 +7,14 @@ is the single place a :class:`~repro.runner.jobs.JobSpec` turns into a
 :class:`~repro.experiments.common.RunRecord`; the serial path, the
 process pool, and the benchmark harness all funnel through it.
 
-A per-job wall-clock budget is enforced with ``SIGALRM`` *inside* the
-worker (:func:`deadline`), which keeps the scheduler simple: a job that
-exceeds its budget raises :class:`JobTimeout` in its own process and
-surfaces as an ordinary failed future, not a wedged pool.
+A per-job wall-clock budget is enforced *inside* the worker
+(:func:`deadline`), which keeps the scheduler simple: a job that
+exceeds its budget raises :class:`JobTimeout` in its own process (or
+thread) and surfaces as an ordinary failed future, not a wedged pool.
+On the main thread of a POSIX process the mechanism is ``SIGALRM``;
+off the main thread — the sweep service runs batch workers in threads —
+a watchdog thread injects the timeout asynchronously, so the budget is
+enforced wherever the job runs.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ import signal
 import sys
 import threading
 import time
+from dataclasses import dataclass
 
 from ..api import get_app, result_ok
 from ..errors import ProgramError, SimulationError
@@ -31,6 +36,9 @@ __all__ = [
     "deadline",
     "execute_job",
     "run_job_worker",
+    "BatchOutcome",
+    "execute_batch",
+    "run_batch_worker",
     "trace_artifact_path",
 ]
 
@@ -39,22 +47,81 @@ class JobTimeout(SimulationError):
     """A job exceeded its per-job wall-clock budget."""
 
 
+def _async_raise(ident: int, exc_type) -> bool:
+    """Inject ``exc_type`` into the thread ``ident`` (CPython only).
+
+    Delivery happens at the target thread's next bytecode boundary —
+    exactly right for the pure-Python simulator loop.  ``exc_type=None``
+    cancels a pending, not-yet-delivered injection.  Returns whether the
+    call affected exactly one thread; on anything other than CPython
+    (no ``ctypes.pythonapi``) it returns False and the caller degrades
+    to unenforced budgets, the historical non-main-thread behaviour.
+    """
+    try:
+        import ctypes
+
+        api = ctypes.pythonapi
+    except (ImportError, AttributeError):  # pragma: no cover - non-CPython
+        return False
+    exc = ctypes.py_object(exc_type) if exc_type is not None else None
+    touched = api.PyThreadState_SetAsyncExc(ctypes.c_ulong(ident), exc)
+    if touched > 1:  # pragma: no cover - defensive: bad ident matched many
+        api.PyThreadState_SetAsyncExc(ctypes.c_ulong(ident), None)
+        return False
+    return touched == 1
+
+
+@contextlib.contextmanager
+def _watchdog_deadline(seconds: float):
+    """Non-main-thread budget: a watchdog injects :class:`JobTimeout`.
+
+    Once the watchdog fires the outcome is deterministically a timeout:
+    if the block won the race and finished before the injected exception
+    was delivered, the pending injection is cancelled and the timeout is
+    raised synchronously instead — a fired deadline never leaks an
+    asynchronous exception into unrelated later code.
+    """
+    ident = threading.get_ident()
+    finished = threading.Event()
+    fired = threading.Event()
+
+    def _arm() -> None:
+        if not finished.wait(seconds):
+            fired.set()
+            _async_raise(ident, JobTimeout)
+
+    watchdog = threading.Thread(target=_arm, name="repro-job-watchdog", daemon=True)
+    watchdog.start()
+    try:
+        yield
+    finally:
+        finished.set()
+        watchdog.join()
+        if fired.is_set() and sys.exc_info()[0] is None:
+            _async_raise(ident, None)
+            raise JobTimeout(f"job exceeded its {seconds:.1f}s budget")
+
+
 @contextlib.contextmanager
 def deadline(seconds: float | None):
     """Raise :class:`JobTimeout` if the block runs longer than ``seconds``.
 
-    Uses ``SIGALRM`` where available (main thread of a POSIX process —
-    exactly what a pool worker is); elsewhere, or with ``seconds=None``,
-    it is a no-op so the engine degrades gracefully rather than failing.
+    On the main thread of a POSIX process (exactly what a pool worker
+    is) the mechanism is ``SIGALRM``, ceiled to whole seconds.  On any
+    other thread — the sweep service's batch workers — a watchdog thread
+    enforces the budget at float precision via an injected exception.
+    With ``seconds=None``, or where neither mechanism exists, it is a
+    no-op so the engine degrades gracefully rather than failing.
     """
-    usable = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not usable:
+    if seconds is None or seconds <= 0:
         yield
+        return
+    if not (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    ):
+        with _watchdog_deadline(seconds):
+            yield
         return
 
     def _expired(_signum, _frame):
@@ -178,3 +245,105 @@ def run_job_worker(
     """
     with deadline(timeout):
         return execute_job(spec, trace_dir=trace_dir)
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """One job's result inside a batch: record or error, never both.
+
+    ``source`` is ``"executed"`` for a fresh simulation, ``"cache"``
+    when the batch worker found the entry already on disk (another
+    worker or server instance got there first), and ``"error"`` when
+    the job failed; failures carry ``error`` (``"ExcType: message"``)
+    instead of poisoning the whole batch.
+    """
+
+    key: str
+    spec: JobSpec
+    record: object | None
+    source: str
+    error: str | None = None
+    wall_seconds: float = 0.0
+    max_rss_kb: int = 0
+
+
+def execute_batch(
+    specs: list[JobSpec],
+    *,
+    timeout: float | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+    trace_dir: str | None = None,
+) -> list[BatchOutcome]:
+    """Run several jobs back to back in this process (or thread).
+
+    This is the sweep service's unit of dispatch: one batch amortizes
+    process startup and task-submission overhead across many small
+    jobs.  Each job gets its own :func:`deadline` budget, each result
+    is written to the shared content-addressed cache *immediately* (so
+    a crash or shutdown mid-batch loses only the job in progress, never
+    completed work), and each failure is captured per job in its
+    :class:`BatchOutcome` rather than aborting the rest of the batch.
+    """
+    cache = None
+    if use_cache:
+        from .cache import ResultCache
+
+        cache = ResultCache(cache_dir)
+    outcomes: list[BatchOutcome] = []
+    for spec in specs:
+        key = spec.key()
+        started = time.perf_counter()
+        try:
+            record = cache.get(spec) if cache is not None else None
+            source = "cache"
+            if record is None:
+                with deadline(timeout):
+                    record = execute_job(spec, trace_dir=trace_dir)
+                source = "executed"
+                if cache is not None:
+                    cache.put(spec, record)
+        except Exception as exc:
+            outcomes.append(
+                BatchOutcome(
+                    key=key,
+                    spec=spec,
+                    record=None,
+                    source="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                    wall_seconds=time.perf_counter() - started,
+                )
+            )
+            continue
+        exec_info = getattr(record, "_exec", None) or {}
+        outcomes.append(
+            BatchOutcome(
+                key=key,
+                spec=spec,
+                record=record,
+                source=source,
+                wall_seconds=float(
+                    exec_info.get("wall_seconds") or time.perf_counter() - started
+                ),
+                max_rss_kb=int(exec_info.get("max_rss_kb") or 0),
+            )
+        )
+    return outcomes
+
+
+def run_batch_worker(
+    specs: list[JobSpec],
+    timeout: float | None = None,
+    cache_dir: str | None = None,
+    use_cache: bool = True,
+    trace_dir: str | None = None,
+) -> list[BatchOutcome]:
+    """Pool entry point for one batch (picklable, like its single-job
+    sibling).  The service dispatches these across its worker pool."""
+    return execute_batch(
+        specs,
+        timeout=timeout,
+        cache_dir=cache_dir,
+        use_cache=use_cache,
+        trace_dir=trace_dir,
+    )

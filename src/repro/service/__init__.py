@@ -1,0 +1,36 @@
+"""The sweep service: a multi-client layer over the execution engine.
+
+The figures of the paper are sweeps over content-keyed simulations, and
+the north-star workload is many clients re-requesting the same keys.
+This package turns the single-process runner into that service:
+
+* :mod:`~repro.service.server` — ``SweepService``, an asyncio HTTP
+  server: warm jobs answered from the shared content-addressed cache,
+  in-flight jobs deduplicated by content key (N clients, one
+  execution), cold jobs coalesced into batches over a worker pool,
+  bounded admission with 429 + ``Retry-After`` backpressure, and a
+  graceful drain that loses no completed result;
+* :mod:`~repro.service.client` — ``SweepClient``, a blocking stdlib
+  client with retry/backoff and streamed per-job progress;
+* :mod:`~repro.service.protocol` — the minimal hand-rolled HTTP/1.1 +
+  NDJSON layer both ends agree on;
+* :mod:`~repro.service.stats` — ``ServiceStats``, the counters behind
+  the ``/status`` endpoint and ``repro svc-status``.
+
+From the CLI: ``repro serve`` starts a server, ``repro submit`` sends a
+sweep to it, ``repro svc-status`` inspects it.  From code,
+``repro.connect(url)`` returns a :class:`SweepClient`.
+"""
+
+from .client import ServiceError, ServiceUnavailable, SweepClient
+from .server import DEFAULT_PORT, SweepService
+from .stats import ServiceStats
+
+__all__ = [
+    "DEFAULT_PORT",
+    "SweepService",
+    "SweepClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "ServiceStats",
+]

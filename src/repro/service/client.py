@@ -1,0 +1,195 @@
+"""Client for the sweep service: retry, backoff, streamed progress.
+
+``SweepClient`` wraps the service's little HTTP surface in a blocking,
+dependency-free API (stdlib ``http.client``).  Submission is safe to
+retry by construction — jobs are content-keyed, the server dedups
+in-flight work and answers warm keys from the cache — so the client
+retries *aggressively*: connection errors back off exponentially,
+HTTP 429 honours the server's ``Retry-After``, and a retried sweep
+costs at most a cache read per job, never a duplicate simulation.
+
+Typical use::
+
+    from repro.runner import expand_sweep
+    from repro.service import SweepClient
+
+    client = SweepClient("http://127.0.0.1:8737")
+    summary = client.submit(
+        expand_sweep("sort", 8, 64, [1, 2, 4, 8]),
+        on_progress=lambda ev: print(ev["key"][:8], ev["source"]),
+    )
+    print(summary["executed"], "executed,", summary["warm"], "warm")
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+import urllib.parse
+from typing import Callable, Iterable
+
+from ..errors import ReproError
+from ..runner.jobs import JobSpec, spec_to_dict
+
+__all__ = ["ServiceError", "ServiceUnavailable", "SweepClient"]
+
+
+class ServiceError(ReproError):
+    """The service answered with an error (carries the HTTP status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceUnavailable(ServiceError):
+    """Retries exhausted against backpressure or a dead server."""
+
+
+class SweepClient:
+    """Blocking client with retry/backoff for one sweep service."""
+
+    def __init__(
+        self,
+        url: str = "http://127.0.0.1:8737",
+        *,
+        retries: int = 5,
+        backoff_s: float = 0.2,
+        max_backoff_s: float = 10.0,
+        timeout_s: float = 300.0,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"http://{url}")
+        if parsed.scheme != "http":
+            raise ReproError(f"only http:// service URLs are supported, got {url!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 80
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        consume: Callable[[http.client.HTTPResponse], object] | None = None,
+    ):
+        """One request with the retry policy; returns parsed JSON or the
+        value of ``consume(response)`` for streaming endpoints."""
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        delay = self.backoff_s
+        last_error: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(min(delay, self.max_backoff_s))
+                delay *= 2
+            conn = self._connect()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                if response.status == 429 or response.status == 503:
+                    retry_after = response.getheader("Retry-After")
+                    detail = response.read().decode("utf-8", "replace").strip()
+                    last_error = ServiceUnavailable(response.status, detail)
+                    if retry_after is not None:
+                        try:
+                            delay = max(float(retry_after), self.backoff_s)
+                        except ValueError:
+                            pass
+                    continue
+                if response.status >= 400:
+                    detail = response.read().decode("utf-8", "replace").strip()
+                    try:
+                        detail = json.loads(detail).get("error", detail)
+                    except (json.JSONDecodeError, AttributeError):
+                        pass
+                    raise ServiceError(response.status, detail)
+                if consume is not None:
+                    return consume(response)
+                return json.loads(response.read().decode("utf-8"))
+            except (ConnectionError, TimeoutError, http.client.HTTPException, OSError) as exc:
+                # Safe to retry: submission is idempotent (content keys).
+                last_error = exc
+                continue
+            finally:
+                conn.close()
+        raise ServiceUnavailable(
+            getattr(last_error, "status", 503),
+            f"no usable response from {self.host}:{self.port} after "
+            f"{self.retries + 1} attempts ({last_error})",
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> bool:
+        """Liveness: True when the server answers and is not draining."""
+        try:
+            payload = self._request("GET", "/healthz")
+        except ReproError:
+            return False
+        return bool(payload.get("ok")) and not payload.get("draining")
+
+    def status(self) -> dict:
+        """The server's /status payload (stats, queue, cache schema)."""
+        return self._request("GET", "/status")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and exit; returns its final stats."""
+        return self._request("POST", "/shutdown")
+
+    def submit(
+        self,
+        specs: Iterable[JobSpec | dict],
+        *,
+        stream: bool = True,
+        on_progress: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Submit one sweep and block until every job is resolved.
+
+        Returns the server's ``done`` summary: per-request ``warm`` /
+        ``dedup`` / ``executed`` / ``failed`` counts and a ``results``
+        list of ``{key, spec, source, record, error, exec}`` entries in
+        submission order.  With ``stream`` (default) the server sends
+        one NDJSON event per completed job and ``on_progress`` sees each
+        one; without it the call returns only the final document.
+        """
+        jobs = [
+            spec_to_dict(spec) if isinstance(spec, JobSpec) else dict(spec)
+            for spec in specs
+        ]
+        if not jobs:
+            raise ReproError("submit() needs at least one job spec")
+        payload = {"jobs": jobs, "stream": stream}
+        if not stream:
+            return self._request("POST", "/sweep", payload)
+
+        def consume(response: http.client.HTTPResponse) -> dict:
+            summary = None
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                event = json.loads(line.decode("utf-8"))
+                if on_progress is not None:
+                    on_progress(event)
+                if event.get("event") == "done":
+                    summary = event
+            if summary is None:
+                raise ServiceError(502, "stream ended before the done event")
+            return summary
+
+        return self._request("POST", "/sweep", payload, consume=consume)

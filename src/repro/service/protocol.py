@@ -1,0 +1,190 @@
+"""A minimal HTTP/1.1 layer over asyncio streams — no dependencies.
+
+The sweep service speaks just enough HTTP for real clients (``curl``,
+``http.client``, browsers) to interoperate: request-line + headers +
+``Content-Length`` bodies in, status + headers + either fixed-length
+JSON or chunked NDJSON streams out.  Anything fancier (keep-alive
+pipelining, compression, TLS) is deliberately out of scope — the
+service sits behind one request per connection, which keeps the parser
+~a page and the failure modes enumerable.
+
+Responses come in two shapes:
+
+* :func:`send_json` — one JSON document with ``Content-Length``, for
+  status and error replies;
+* :func:`start_ndjson` + :func:`send_ndjson_line` + :func:`end_chunks`
+  — a ``Transfer-Encoding: chunked`` stream of newline-delimited JSON
+  events, one line per job completion, which is what lets a client
+  watch a sweep progress without polling.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "MAX_HEADERS",
+    "ProtocolError",
+    "Request",
+    "read_request",
+    "send_json",
+    "start_ndjson",
+    "send_ndjson_line",
+    "end_chunks",
+    "STATUS_REASONS",
+]
+
+#: Largest request body the server will buffer (a million-job sweep is
+#: ~100 MiB of specs; callers that big should shard their requests).
+MAX_BODY_BYTES = 32 * 1024 * 1024
+#: Header-count bound — way above any legitimate client, low enough to
+#: stop a slow-loris drip of header lines.
+MAX_HEADERS = 64
+#: One header or request line may not exceed this many bytes.
+MAX_LINE_BYTES = 16 * 1024
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body decoded as JSON (raises :class:`ProtocolError`)."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ProtocolError(400, f"request body is not valid JSON: {exc}")
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise ProtocolError(400, "truncated request")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(413, "request line too long")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(413, "request line too long")
+    return line
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request; ``None`` on clean EOF before a request line."""
+    start = await _read_line(reader)
+    if not start:
+        return None
+    parts = start.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line {start!r}")
+    method, target, _version = parts
+    path, _, query = target.partition("?")
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError(413, "too many headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise ProtocolError(400, f"bad Content-Length {length!r}")
+        if n < 0 or n > MAX_BODY_BYTES:
+            raise ProtocolError(413, f"body of {n} bytes exceeds {MAX_BODY_BYTES}")
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError(400, "truncated request body")
+    elif "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError(400, "chunked request bodies are not supported")
+    return Request(method=method, path=path, query=query, headers=headers, body=body)
+
+
+def _head(status: int, headers: list[tuple[str, str]]) -> bytes:
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    lines += [f"{name}: {value}" for name, value in headers]
+    lines += ["Connection: close", "", ""]
+    return "\r\n".join(lines).encode("latin-1")
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload,
+    *,
+    extra_headers: list[tuple[str, str]] | None = None,
+) -> None:
+    """One fixed-length JSON response (status, errors, final results)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    headers = [
+        ("Content-Type", "application/json"),
+        ("Content-Length", str(len(body))),
+    ] + (extra_headers or [])
+    writer.write(_head(status, headers) + body)
+    await writer.drain()
+
+
+async def start_ndjson(writer: asyncio.StreamWriter, status: int = 200) -> None:
+    """Open a chunked NDJSON stream (one JSON event per line)."""
+    headers = [
+        ("Content-Type", "application/x-ndjson"),
+        ("Transfer-Encoding", "chunked"),
+    ]
+    writer.write(_head(status, headers))
+    await writer.drain()
+
+
+async def send_ndjson_line(writer: asyncio.StreamWriter, payload) -> None:
+    """Emit one event line on an open chunked stream."""
+    line = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+    writer.write(f"{len(line):x}\r\n".encode("latin-1") + line + b"\r\n")
+    await writer.drain()
+
+
+async def end_chunks(writer: asyncio.StreamWriter) -> None:
+    """Terminate a chunked stream."""
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

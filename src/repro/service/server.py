@@ -1,0 +1,571 @@
+"""The sweep service: many clients, one shared execution of each job.
+
+``SweepService`` is an asyncio HTTP server layered on the execution
+engine (:mod:`repro.runner`).  Its job is to make N clients requesting
+the same content-keyed simulations cost one execution:
+
+* **warm path** — a job whose :meth:`~repro.runner.jobs.JobSpec.key`
+  is already in the shared content-addressed cache is answered from
+  disk, no execution;
+* **in-flight dedup** — a job currently executing (for any client) is
+  *attached to*, not re-admitted: every waiter shares one
+  ``asyncio.Future``;
+* **cold path** — genuinely new jobs enter a **bounded** admission
+  queue.  A batcher coalesces queued jobs into per-worker batches
+  (amortizing process startup and dispatch overhead across many small
+  simulations) and fans the batches over a process pool — or an
+  in-process thread pool with ``inline=True``, where the runner's
+  watchdog deadline keeps per-job budgets enforceable off the main
+  thread.
+
+When the admission queue is full the service **sheds**: the sweep
+request is rejected with HTTP 429 and a ``Retry-After`` estimate
+derived from observed job cost, so saturation surfaces as backpressure
+instead of unbounded memory growth.  Graceful shutdown stops admission,
+drains every queued and in-flight batch, and — because batch workers
+persist each result to the cache the moment it completes — loses no
+finished work.
+
+All service state is touched only from the event loop; worker results
+re-enter through ``loop.run_in_executor`` futures, so there is no
+locking anywhere in this module.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, ReproError
+from ..metrics.serialize import run_record_to_dict
+from ..obs import EventBus, ServiceEvent
+from ..runner.cache import ResultCache
+from ..runner.jobs import JobSpec, spec_from_dict, spec_to_dict
+from ..runner.worker import BatchOutcome, run_batch_worker
+from .protocol import (
+    ProtocolError,
+    Request,
+    end_chunks,
+    read_request,
+    send_json,
+    send_ndjson_line,
+    start_ndjson,
+)
+from .stats import ServiceStats
+
+__all__ = ["SweepService", "DEFAULT_PORT"]
+
+#: The CLI's default port; tests and CI bind port 0 (ephemeral).
+DEFAULT_PORT = 8737
+
+#: Sentinel shutting the batcher loop down after the queue drains.
+_STOP = object()
+
+
+@dataclass
+class _Inflight:
+    """One executing (or queued) job and everyone waiting on it."""
+
+    spec: JobSpec
+    key: str
+    future: asyncio.Future = field(default_factory=asyncio.Future)
+    waiters: int = 1
+
+
+class _Shed(ReproError):
+    """Admission queue full — reject the request with 429."""
+
+    def __init__(self, needed: int, retry_after: int):
+        super().__init__(
+            f"admission queue full; retry in ~{retry_after}s ({needed} cold jobs)"
+        )
+        self.needed = needed
+        self.retry_after = retry_after
+
+
+class SweepService:
+    """Multi-client sweep server over the shared result cache.
+
+    Endpoints::
+
+        GET  /healthz    liveness probe
+        GET  /status     stats + queue + cache (shared stats schema)
+        POST /sweep      {"jobs": [spec...], "stream": bool}
+        POST /shutdown   graceful drain, then exit
+
+    ``workers`` sizes the batch execution pool (default: CPU count);
+    ``inline=True`` swaps the process pool for threads in this process
+    — cheap for tests and tiny jobs.  ``batch_size``/``linger_s`` shape
+    batching: a batch closes when full or when ``linger_s`` passes
+    without a new job.  ``max_queue`` bounds admitted-but-unfinished
+    jobs; beyond it, sweeps shed with 429.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: str | None = None,
+        use_cache: bool = True,
+        workers: int | None = None,
+        inline: bool = False,
+        batch_size: int = 8,
+        linger_s: float = 0.02,
+        max_queue: int = 256,
+        timeout: float | None = None,
+        obs: EventBus | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if max_queue < 1:
+            raise ConfigError(f"max_queue must be >= 1, got {max_queue}")
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self._cache_dir = cache_dir
+        self._use_cache = use_cache
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        self.inline = inline
+        self.batch_size = batch_size
+        self.linger_s = linger_s
+        self.max_queue = max_queue
+        self.timeout = timeout
+        self.obs = obs
+        self.stats = ServiceStats()
+
+        self._inflight: dict[str, _Inflight] = {}
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._queued = 0  # jobs admitted but not yet handed to a batch
+        self._draining = False
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher_task: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._executor = None
+        self._stopped = asyncio.Event()
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind and start serving; returns the actual (host, port)."""
+        if self.inline:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-batch"
+            )
+        else:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self._batcher_task = asyncio.create_task(self._batcher())
+        self._server = await asyncio.start_server(self._handle_conn, host, port)
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def wait_stopped(self) -> None:
+        """Block until a shutdown (signal or POST /shutdown) completes."""
+        await self._stopped.wait()
+
+    async def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting work; with ``drain``, finish everything first.
+
+        Completed results are already on disk (batch workers persist
+        each one as it finishes), so even ``drain=False`` loses only
+        jobs that never completed.
+        """
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # The STOP sentinel queues behind every admitted job, so the
+        # batcher drains FIFO before exiting.
+        await self._queue.put(_STOP)
+        if self._batcher_task is not None:
+            if drain:
+                await self._batcher_task
+                if self._batch_tasks:
+                    await asyncio.gather(*self._batch_tasks, return_exceptions=True)
+            else:
+                self._batcher_task.cancel()
+                for task in self._batch_tasks:
+                    task.cancel()
+        for job in list(self._inflight.values()):
+            if not job.future.done():
+                job.future.set_exception(
+                    ReproError("service shut down before the job ran")
+                )
+        self._inflight.clear()
+        if self._executor is not None:
+            self._executor.shutdown(wait=drain, cancel_futures=not drain)
+        self._emit("drain", n=self.stats.executed)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, key: str = "", n: int = 0, value: float = 0.0) -> None:
+        if self.obs is not None:
+            self.obs.emit(
+                ServiceEvent(
+                    t=int((time.monotonic() - self._t0) * 1e6),
+                    kind=kind,
+                    key=key,
+                    n=n,
+                    value=value,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _retry_after(self, extra_jobs: int) -> int:
+        """A coarse, honest backlog estimate in whole seconds."""
+        backlog = self._queued + len(self._inflight) + extra_jobs
+        per_job = self.stats.mean_job_seconds() or 0.5
+        return max(1, min(60, int(backlog * per_job / self.workers) + 1))
+
+    def _admit_sweep(self, specs: list[JobSpec]) -> list[tuple[str, JobSpec, str, object]]:
+        """Resolve every job of one request to a source, atomically.
+
+        Returns ``(key, spec, source, record_or_future)`` rows where
+        ``source`` is ``warm`` (record in hand), ``dedup`` (future of
+        an in-flight execution) or ``admitted`` (fresh future, queued).
+        Runs entirely inside one event-loop step, so the
+        capacity check below cannot race another request: either the
+        whole sweep is admitted or nothing changes and it sheds.
+        """
+        plan: list[tuple[str, JobSpec, str, object]] = []
+        fresh: dict[str, _Inflight] = {}
+        for spec in specs:
+            key = spec.key()
+            self.stats.jobs_received += 1
+            if key in fresh:
+                # Duplicate within one request: share the new future.
+                self.stats.dedup_hits += 1
+                plan.append((key, spec, "dedup", fresh[key].future))
+                continue
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                inflight.waiters += 1
+                self.stats.dedup_hits += 1
+                self._emit("dedup", key=key, n=self._queued)
+                plan.append((key, spec, "dedup", inflight.future))
+                continue
+            record = self.cache.get(spec) if self.cache is not None else None
+            if record is not None:
+                self.stats.warm_hits += 1
+                self._emit("warm", key=key, n=self._queued)
+                plan.append((key, spec, "warm", record))
+                continue
+            fresh[key] = _Inflight(spec=spec, key=key)
+            plan.append((key, spec, "admitted", fresh[key].future))
+
+        if self._queued + len(fresh) > self.max_queue:
+            # Nothing was published yet — the request sheds whole, and
+            # already-running work other clients share is untouched.
+            self.stats.shed_requests += 1
+            retry = self._retry_after(len(fresh))
+            self._emit("shed", n=len(fresh))
+            raise _Shed(len(fresh), retry)
+
+        for key, job in fresh.items():
+            self._inflight[key] = job
+            self._queued += 1
+            self.stats.admitted += 1
+            self._queue.put_nowait(job)
+            self._emit("admit", key=key, n=self._queued)
+        self.stats.note_queue_depth(self._queued)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Batching and execution
+    # ------------------------------------------------------------------
+    async def _batcher(self) -> None:
+        """Coalesce queued jobs into batches and dispatch them."""
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            closes_at = loop.time() + self.linger_s
+            stop = False
+            while len(batch) < self.batch_size:
+                remaining = closes_at - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _STOP:
+                    stop = True
+                    break
+                batch.append(nxt)
+            self._queued -= len(batch)
+            self.stats.note_batch(len(batch))
+            self._emit("batch", n=len(batch))
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+            if stop:
+                return
+
+    async def _run_batch(self, batch: list[_Inflight]) -> None:
+        loop = asyncio.get_running_loop()
+        work = functools.partial(
+            run_batch_worker,
+            [job.spec for job in batch],
+            self.timeout,
+            self._cache_dir,
+            self._use_cache,
+        )
+        try:
+            outcomes = await loop.run_in_executor(self._executor, work)
+        except Exception as exc:  # pool breakage, pickling, OOM-kill
+            outcomes = [
+                BatchOutcome(
+                    key=job.key,
+                    spec=job.spec,
+                    record=None,
+                    source="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                for job in batch
+            ]
+        for job, outcome in zip(batch, outcomes):
+            if outcome.source == "executed":
+                self.stats.executed += 1
+                self.stats.note_outcome(outcome.wall_seconds, outcome.max_rss_kb)
+            elif outcome.source == "cache":
+                self.stats.cache_races_won_elsewhere += 1
+            else:
+                self.stats.failed += 1
+            self._emit(
+                "job",
+                key=job.key,
+                n=outcome.max_rss_kb,
+                value=outcome.wall_seconds,
+            )
+            self._inflight.pop(job.key, None)
+            if not job.future.done():
+                job.future.set_result(outcome)
+
+    # ------------------------------------------------------------------
+    # HTTP surface
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as exc:
+                self.stats.bad_requests += 1
+                await send_json(writer, exc.status, {"error": str(exc)})
+                return
+            if request is None:
+                return
+            self.stats.requests += 1
+            await self._route(request, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass  # client went away; shared work continues regardless
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _route(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            await send_json(writer, 200, {"ok": True, "draining": self._draining})
+        elif route == ("GET", "/status"):
+            await send_json(writer, 200, self.status())
+        elif route == ("POST", "/sweep"):
+            await self._handle_sweep(request, writer)
+        elif route == ("POST", "/shutdown"):
+            await send_json(writer, 200, {"ok": True, "stats": self.stats.to_dict()})
+            # Reply first, then drain — the asyncio server keeps this
+            # connection's response flowing while new accepts stop.
+            asyncio.create_task(self.shutdown(drain=True))
+        elif request.path in ("/healthz", "/status", "/sweep", "/shutdown"):
+            self.stats.bad_requests += 1
+            await send_json(writer, 405, {"error": f"{request.method} not allowed"})
+        else:
+            self.stats.bad_requests += 1
+            await send_json(writer, 404, {"error": f"no route {request.path}"})
+
+    def status(self) -> dict:
+        """The /status payload; ``cache`` uses the shared stats schema
+        (``repro cache stats --json``) with the service's live counters
+        plus its dedup count folded in."""
+        cache_payload = None
+        if self.cache is not None:
+            cache_stats = self.cache.stats().to_dict()
+            cache_stats["counters"]["dedup"] = self.stats.dedup_hits
+            cache_payload = cache_stats
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "workers": self.workers,
+            "inline": self.inline,
+            "batch_size": self.batch_size,
+            "max_queue": self.max_queue,
+            "uptime_seconds": round(time.monotonic() - self._t0, 3),
+            "queue": {
+                "depth": self._queued,
+                "capacity": self.max_queue,
+                "inflight_jobs": len(self._inflight),
+                "inflight_batches": len(self._batch_tasks),
+            },
+            "stats": self.stats.to_dict(),
+            "cache": cache_payload,
+        }
+
+    async def _handle_sweep(self, request: Request, writer: asyncio.StreamWriter) -> None:
+        if self._draining:
+            await send_json(
+                writer, 503, {"error": "service is draining"},
+                extra_headers=[("Retry-After", "5")],
+            )
+            return
+        try:
+            payload = request.json()
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("jobs"), list
+            ):
+                raise ProtocolError(400, 'body must be {"jobs": [spec, ...]}')
+            if not payload["jobs"]:
+                raise ProtocolError(400, "empty job list")
+            specs = [spec_from_dict(entry) for entry in payload["jobs"]]
+            for spec in specs:
+                spec.validate()
+        except ProtocolError as exc:
+            self.stats.bad_requests += 1
+            await send_json(writer, exc.status, {"error": str(exc)})
+            return
+        except ReproError as exc:
+            self.stats.bad_requests += 1
+            await send_json(writer, 400, {"error": str(exc)})
+            return
+
+        self.stats.sweep_requests += 1
+        self._emit("request", n=len(specs))
+        stream = bool(payload.get("stream", True))
+        try:
+            plan = self._admit_sweep(specs)
+        except _Shed as exc:
+            await send_json(
+                writer, 429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers=[("Retry-After", str(exc.retry_after))],
+            )
+            return
+
+        accepted = {
+            "event": "accepted",
+            "jobs": len(plan),
+            "warm": sum(1 for row in plan if row[2] == "warm"),
+            "dedup": sum(1 for row in plan if row[2] == "dedup"),
+            "admitted": sum(1 for row in plan if row[2] == "admitted"),
+        }
+        if stream:
+            await start_ndjson(writer)
+            await send_ndjson_line(writer, accepted)
+
+        # Completion order, not submission order: warm rows are ready
+        # now, futures land as batches finish.  A per-request queue
+        # serializes them back into one response stream.
+        done_q: asyncio.Queue = asyncio.Queue()
+        for index, (key, spec, source, payload_obj) in enumerate(plan):
+            if source == "warm":
+                done_q.put_nowait((index, payload_obj, source))
+            else:
+                def _deliver(fut, index=index, source=source):
+                    done_q.put_nowait((index, fut, source))
+
+                payload_obj.add_done_callback(_deliver)
+
+        results: list[dict | None] = [None] * len(plan)
+        failed = 0
+        for _ in range(len(plan)):
+            index, obj, source = await done_q.get()
+            key, spec, _, _ = plan[index]
+            entry = self._result_entry(key, spec, obj, source)
+            if entry["error"] is not None:
+                failed += 1
+            results[index] = entry
+            if stream:
+                progress = dict(entry)
+                progress["event"] = "job"
+                progress.pop("record", None)  # records ride the summary
+                await send_ndjson_line(writer, progress)
+
+        summary = {
+            "event": "done",
+            "jobs": len(plan),
+            "warm": accepted["warm"],
+            "dedup": accepted["dedup"],
+            "executed": sum(
+                1 for entry in results if entry and entry["source"] == "executed"
+            ),
+            "failed": failed,
+            "results": results,
+            "stats": self.stats.to_dict(),
+        }
+        if stream:
+            await send_ndjson_line(writer, summary)
+            await end_chunks(writer)
+        else:
+            await send_json(writer, 200, summary)
+
+    def _result_entry(self, key: str, spec: JobSpec, obj, source: str) -> dict:
+        """One job's wire entry from a record, outcome, or dead future."""
+        entry = {
+            "key": key,
+            "spec": spec_to_dict(spec),
+            "source": source,
+            "record": None,
+            "error": None,
+            "exec": None,
+        }
+        if source == "warm":
+            entry["record"] = run_record_to_dict(obj)
+            return entry
+        future = obj
+        exc = future.exception()
+        if exc is not None:
+            entry["source"] = "error"
+            entry["error"] = f"{type(exc).__name__}: {exc}"
+            return entry
+        outcome: BatchOutcome = future.result()
+        if outcome.error is not None:
+            entry["source"] = "error"
+            entry["error"] = outcome.error
+            return entry
+        if source != "dedup":
+            # An admitted job may still come back source="cache" when
+            # another server instance won the disk race.
+            entry["source"] = outcome.source
+        entry["record"] = run_record_to_dict(outcome.record)
+        entry["exec"] = {
+            "wall_seconds": outcome.wall_seconds,
+            "max_rss_kb": outcome.max_rss_kb,
+        }
+        return entry
+
+
+def parse_ndjson_lines(chunks: bytes) -> list[dict]:
+    """Split a byte buffer of NDJSON into parsed events (test helper)."""
+    return [
+        json.loads(line)
+        for line in chunks.decode("utf-8").splitlines()
+        if line.strip()
+    ]

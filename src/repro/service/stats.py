@@ -1,0 +1,85 @@
+"""Service-level accounting: where every submitted job was satisfied.
+
+One :class:`ServiceStats` instance lives for the lifetime of a
+:class:`~repro.service.server.SweepService` and is mutated only from
+the event loop, so there is no locking.  The counters answer the three
+questions the batching/dedup layer exists for:
+
+* how much incoming demand collapsed onto shared work (``warm_hits`` +
+  ``dedup_hits`` vs ``executed``),
+* how well batching amortized dispatch (``batches`` vs
+  ``batched_jobs``),
+* whether admission control engaged (``shed_requests``,
+  ``max_queue_depth`` against the configured bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters since service start (event-loop-only writes)."""
+
+    #: HTTP-level traffic.
+    requests: int = 0
+    sweep_requests: int = 0
+    shed_requests: int = 0
+    bad_requests: int = 0
+
+    #: Per-job disposition at admission time.
+    jobs_received: int = 0
+    warm_hits: int = 0       # answered straight from the result cache
+    dedup_hits: int = 0      # attached to an already-in-flight execution
+    admitted: int = 0        # entered the bounded execution queue
+
+    #: Execution outcomes (counted as batches resolve).
+    executed: int = 0
+    cache_races_won_elsewhere: int = 0  # batch worker found it on disk
+    failed: int = 0
+
+    #: Batching behaviour.
+    batches: int = 0
+    batched_jobs: int = 0
+    max_queue_depth: int = 0
+
+    #: Aggregate execution cost, from the cache's wall/RSS side channel.
+    wall_seconds: float = 0.0
+    peak_rss_kb: int = 0
+
+    def note_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_jobs += size
+
+    def note_queue_depth(self, depth: int) -> None:
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+
+    def note_outcome(self, wall_seconds: float, max_rss_kb: int) -> None:
+        self.wall_seconds += wall_seconds
+        if max_rss_kb > self.peak_rss_kb:
+            self.peak_rss_kb = max_rss_kb
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_jobs / self.batches if self.batches else 0.0
+
+    def mean_job_seconds(self) -> float:
+        return self.wall_seconds / self.executed if self.executed else 0.0
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["mean_batch_size"] = round(self.mean_batch_size, 3)
+        return payload
+
+    def describe(self) -> str:
+        return (
+            f"{self.jobs_received} jobs: {self.warm_hits} warm, "
+            f"{self.dedup_hits} deduped, {self.executed} executed, "
+            f"{self.failed} failed; {self.batches} batches "
+            f"(mean {self.mean_batch_size:.1f} jobs), "
+            f"{self.shed_requests} requests shed"
+        )

@@ -1,0 +1,167 @@
+"""Batch execution (`execute_batch`) and thread-safe deadlines.
+
+The sweep service dispatches whole batches to pool workers; these tests
+pin the batch semantics (immediate per-job caching, per-job error
+isolation) and the `deadline` context manager's off-main-thread
+watchdog path, which the SIGALRM mechanism cannot cover.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.runner import BatchOutcome, JobSpec, ResultCache, execute_batch, run_batch_worker
+from repro.runner.worker import JobTimeout, deadline
+
+GOOD = JobSpec(app="sort", n_pes=2, npp=8, h=1)
+GOOD2 = JobSpec(app="sort", n_pes=2, npp=8, h=2)
+BAD = JobSpec(app="sort", n_pes=2, npp=8, h=0)  # h < 1: fails validation
+
+
+# ----------------------------------------------------------------------
+# execute_batch
+# ----------------------------------------------------------------------
+
+def test_cold_batch_executes_and_persists_each_job(tmp_path):
+    outcomes = execute_batch([GOOD, GOOD2], cache_dir=str(tmp_path))
+    assert [o.source for o in outcomes] == ["executed", "executed"]
+    assert all(o.error is None and o.record is not None for o in outcomes)
+    assert all(o.wall_seconds > 0 for o in outcomes)
+    cache = ResultCache(tmp_path)
+    assert len(cache) == 2
+    assert cache.get(GOOD) is not None and cache.get(GOOD2) is not None
+
+
+def test_warm_batch_answers_from_cache(tmp_path):
+    execute_batch([GOOD], cache_dir=str(tmp_path))
+    outcomes = execute_batch([GOOD], cache_dir=str(tmp_path))
+    assert [o.source for o in outcomes] == ["cache"]
+    assert outcomes[0].record is not None
+
+
+def test_failure_is_isolated_to_its_job(tmp_path):
+    outcomes = execute_batch([GOOD, BAD, GOOD2], cache_dir=str(tmp_path))
+    assert [o.source for o in outcomes] == ["executed", "error", "executed"]
+    assert outcomes[1].record is None
+    assert "ConfigError" in outcomes[1].error
+    # The good jobs still persisted despite the failure between them.
+    cache = ResultCache(tmp_path)
+    assert len(cache) == 2
+
+
+def test_batch_without_cache_never_touches_disk(tmp_path):
+    outcomes = execute_batch([GOOD], cache_dir=str(tmp_path), use_cache=False)
+    assert [o.source for o in outcomes] == ["executed"]
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_run_batch_worker_is_the_picklable_entry_point(tmp_path):
+    outcomes = run_batch_worker([GOOD], None, str(tmp_path), True)
+    assert isinstance(outcomes[0], BatchOutcome)
+    assert outcomes[0].key == GOOD.key()
+    assert outcomes[0].source == "executed"
+
+
+def test_duplicate_specs_in_one_batch_hit_cache_after_first(tmp_path):
+    outcomes = execute_batch([GOOD, GOOD], cache_dir=str(tmp_path))
+    assert [o.source for o in outcomes] == ["executed", "cache"]
+
+
+# ----------------------------------------------------------------------
+# deadline: off-main-thread watchdog (the service's batch threads)
+# ----------------------------------------------------------------------
+
+def run_in_thread(fn, timeout=30):
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        return pool.submit(fn).result(timeout=timeout)
+
+
+def test_watchdog_times_out_a_busy_loop_off_main_thread():
+    def job():
+        assert threading.current_thread() is not threading.main_thread()
+        started = time.monotonic()
+        with pytest.raises(JobTimeout):
+            with deadline(0.2):
+                end = time.monotonic() + 30
+                while time.monotonic() < end:
+                    pass
+        return time.monotonic() - started
+
+    elapsed = run_in_thread(job)
+    assert elapsed < 10  # fired at ~0.2s, nowhere near the 30s loop
+
+
+def test_watchdog_lets_a_fast_block_finish():
+    def job():
+        with deadline(5.0):
+            return "done"
+
+    assert run_in_thread(job) == "done"
+
+
+def test_fired_watchdog_is_a_timeout_even_if_the_block_just_finished():
+    """Once the watchdog fires the outcome is deterministically
+    JobTimeout — a block that wins the delivery race still times out,
+    and no asynchronous exception leaks into later code."""
+
+    def job():
+        with pytest.raises(JobTimeout):
+            with deadline(0.05):
+                # Sleep in C past the budget: the async exception cannot
+                # be delivered until the sleep returns, at which point
+                # the block is about to exit — the race the synchronous
+                # re-raise in `deadline` exists to close.
+                time.sleep(0.3)
+        # Prove nothing is pending: this loop must run unharmed.
+        for _ in range(10000):
+            pass
+        return "clean"
+
+    assert run_in_thread(job) == "clean"
+
+
+def test_deadline_none_and_zero_are_noops_off_main_thread():
+    def job():
+        with deadline(None):
+            with deadline(0):
+                return "ran"
+
+    assert run_in_thread(job) == "ran"
+
+
+def test_block_exception_propagates_unchanged_through_the_watchdog():
+    def job():
+        with pytest.raises(ValueError):
+            with deadline(5.0):
+                raise ValueError("the block's own error")
+        return "ok"
+
+    assert run_in_thread(job) == "ok"
+
+
+def test_batch_timeout_surfaces_per_job(tmp_path):
+    def job():
+        return execute_batch(
+            [JobSpec(app="sort", n_pes=4, npp=64, h=4)],
+            timeout=0.001,
+            cache_dir=str(tmp_path),
+        )
+
+    outcomes = run_in_thread(job)
+    assert outcomes[0].source == "error"
+    assert "JobTimeout" in outcomes[0].error
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_sigalrm_deadline_still_enforced_on_main_thread():
+    started = time.monotonic()
+    with pytest.raises(JobTimeout):
+        with deadline(1):
+            end = time.monotonic() + 30
+            while time.monotonic() < end:
+                pass
+    assert time.monotonic() - started < 10

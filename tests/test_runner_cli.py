@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import csv
+import json
 import pathlib
 
 import pytest
@@ -57,6 +58,23 @@ def test_cli_cache_stats_and_purge(capsys, cache_dir):
 
     main(["cache", "stats", "--cache-dir", str(cache_dir)])
     assert "0 entries" in capsys.readouterr().out
+
+
+def test_cli_cache_stats_json_schema(capsys, cache_dir):
+    clear_memo()
+    main(["sweep", "--jobs", "1", "--figures", "fig8", "--threads", "1",
+          "--cache-dir", str(cache_dir)])
+    capsys.readouterr()
+
+    main(["cache", "stats", "--json", "--cache-dir", str(cache_dir)])
+    payload = json.loads(capsys.readouterr().out)
+    # The shared stats schema: same keys the service /status endpoint
+    # returns under "cache" (which adds a live "dedup" counter).
+    assert {"root", "schema", "entries", "bytes", "timed_entries",
+            "wall_seconds", "peak_rss_kb", "counters"} == set(payload)
+    assert payload["entries"] > 0
+    assert payload["root"] == str(cache_dir)
+    assert {"hits", "misses", "writes", "discards"} == set(payload["counters"])
 
 
 def test_cli_export_reports_runner_summary(capsys, tmp_path, cache_dir):

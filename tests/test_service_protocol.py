@@ -1,0 +1,94 @@
+"""Unit tests for the service's hand-rolled HTTP/NDJSON layer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes through the asyncio parser synchronously."""
+
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_run())
+
+
+def test_parse_get_with_headers_and_query():
+    req = parse(b"GET /status?verbose=1 HTTP/1.1\r\n"
+                b"Host: localhost\r\nAccept: application/json\r\n\r\n")
+    assert req.method == "GET"
+    assert req.path == "/status"
+    assert req.query == "verbose=1"
+    assert req.headers["host"] == "localhost"
+    assert req.body == b""
+    assert req.json() is None
+
+
+def test_parse_post_with_json_body():
+    body = json.dumps({"jobs": [{"app": "sort"}]}).encode()
+    req = parse(b"POST /sweep HTTP/1.1\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body)
+    assert req.method == "POST"
+    assert req.json() == {"jobs": [{"app": "sort"}]}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_malformed_request_line_rejected():
+    with pytest.raises(ProtocolError) as err:
+        parse(b"NONSENSE\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_malformed_header_rejected():
+    with pytest.raises(ProtocolError) as err:
+        parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_truncated_body_rejected():
+    with pytest.raises(ProtocolError) as err:
+        parse(b"POST /sweep HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+    assert err.value.status == 400
+
+
+def test_oversized_body_rejected_without_reading_it():
+    with pytest.raises(ProtocolError) as err:
+        parse(b"POST /sweep HTTP/1.1\r\n"
+              + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode())
+    assert err.value.status == 413
+
+
+def test_bad_content_length_rejected():
+    with pytest.raises(ProtocolError) as err:
+        parse(b"POST /sweep HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_chunked_request_body_rejected():
+    with pytest.raises(ProtocolError) as err:
+        parse(b"POST /sweep HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_invalid_json_body_raises_on_access():
+    req = parse(b"POST /sweep HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oop")
+    with pytest.raises(ProtocolError) as err:
+        req.json()
+    assert err.value.status == 400
