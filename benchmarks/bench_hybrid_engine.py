@@ -1,0 +1,179 @@
+"""Hybrid fast-forward benchmark: A/B against the detailed engine.
+
+Runs the fig6-shaped sweeps at both fidelities and records, per app:
+raw throughput (events/sec) on each side, the detailed/hybrid event
+ratio, the fraction of packet transit time (virtual cycles) the hybrid
+engine advanced analytically, and — non-negotiably — whether the two
+fidelities produced identical metrics.
+
+The event ratio and fast-forward fraction are deterministic functions
+of the workload, so they double as a machine-independent regression
+signal: CI checks them against the recorded baseline the same way the
+calendar-queue benchmark checks its speedup.
+
+Usage::
+
+    python benchmarks/bench_hybrid_engine.py                     # measure + print
+    python benchmarks/bench_hybrid_engine.py --write BENCH_engine.json
+    python benchmarks/bench_hybrid_engine.py --shape tiny \
+        --check BENCH_engine.json --threshold 0.25               # CI smoke
+
+``--check`` exits non-zero if any point diverged, fell back, or if the
+event ratio on a conflict-free h=1 point dropped more than
+``--threshold`` below the recorded baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.sim.hybrid import HybridDifferentialHarness
+
+#: Benchmark shapes: name -> (n_pes, per-PE elements, thread sweep).
+#: Same geometry as bench_engine_hotpath so the two sections of
+#: BENCH_engine.json describe the same workloads.
+SHAPES = {
+    "paper": (16, 64, (1, 2, 4, 8)),
+    "tiny": (8, 64, (1, 2, 4)),
+}
+
+
+def measure(shape: str, repeats: int = 1) -> dict:
+    """A/B both apps across the shape's thread sweep."""
+    n_pes, npp, threads = SHAPES[shape]
+    out: dict = {"shape": shape, "apps": {}}
+    for app in ("sort", "fft"):
+        harness = HybridDifferentialHarness(app, seed=0)
+        points = {}
+        identical = True
+        det_events = hyb_events = 0
+        det_best = hyb_best = 0.0
+        ff_cycles = transit_cycles = 0
+        for h in threads:
+            result = harness.run_pair(n_pes=n_pes, n=n_pes * npp, h=h)
+            identical &= result.identical and result.miss is None
+            ff = (result.hybrid.fastforward or {}) if result.hybrid else {}
+            points[str(h)] = {
+                "identical": result.identical,
+                "miss": result.miss,
+                "event_ratio": round(result.events_saved_ratio, 3),
+                "ff_transit_fraction": round(
+                    ff.get("transit_cycles_forwarded", 0)
+                    / max(1, ff.get("transit_cycles_total", 1)),
+                    3,
+                ),
+            }
+            det_events += result.detailed.events_fired
+            if result.hybrid is not None:
+                hyb_events += result.hybrid.events_fired
+                ff_cycles += ff.get("transit_cycles_forwarded", 0)
+                transit_cycles += ff.get("transit_cycles_total", 0)
+
+        # Throughput: time each side separately, best of repeats.
+        for fidelity, events in (("detailed", det_events), ("hybrid", hyb_events)):
+            best = 0.0
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                for h in threads:
+                    harness._run(fidelity, {"n_pes": n_pes, "n": n_pes * npp, "h": h})
+                best = max(best, events / (time.perf_counter() - t0))
+            if fidelity == "detailed":
+                det_best = best
+            else:
+                hyb_best = best
+
+        out["apps"][app] = {
+            "metrics_identical": identical,
+            "detailed_events": det_events,
+            "hybrid_events": hyb_events,
+            "event_ratio": round(det_events / max(1, hyb_events), 3),
+            "detailed_events_per_sec": round(det_best, 1),
+            "hybrid_events_per_sec": round(hyb_best, 1),
+            "ff_transit_fraction": round(ff_cycles / max(1, transit_cycles), 3),
+            "threads": points,
+        }
+    return out
+
+
+def check(measured: dict, baseline_path: str, threshold: float) -> int:
+    """Identity must hold everywhere; h=1 ratios must track the baseline."""
+    with open(baseline_path) as f:
+        recorded = json.load(f)
+    shape = measured["shape"]
+    base = (recorded.get("hybrid") or {}).get("shapes", {}).get(shape)
+    failures = 0
+    for app, res in measured["apps"].items():
+        if not res["metrics_identical"]:
+            print(f"{shape}/{app}: DIVERGED (hybrid metrics differ from detailed)")
+            failures += 1
+            continue
+        line = (
+            f"{shape}/{app}: identical, {res['event_ratio']:.2f}x fewer events, "
+            f"{res['ff_transit_fraction']:.0%} of transit cycles fast-forwarded"
+        )
+        if base is not None:
+            want = base["apps"][app]["threads"]["1"]["event_ratio"]
+            got = res["threads"]["1"]["event_ratio"]
+            floor = want * (1.0 - threshold)
+            line += f"; h=1 ratio {got:.2f}x vs baseline {want:.2f}x (floor {floor:.2f}x)"
+            if got < floor:
+                line += " -> REGRESSION"
+                failures += 1
+        print(line)
+    if base is None:
+        print(f"(no recorded hybrid baseline for shape {shape!r}; identity-only check)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--shape", choices=sorted(SHAPES), default="paper")
+    ap.add_argument("--repeats", type=int, default=1, help="best-of-N timing")
+    ap.add_argument("--write", metavar="FILE", help="record results as the baseline")
+    ap.add_argument("--check", metavar="FILE", help="compare against a recorded baseline")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional h=1 event-ratio regression (default 0.25)")
+    args = ap.parse_args(argv)
+
+    measured = measure(args.shape, repeats=args.repeats)
+    for app, res in measured["apps"].items():
+        print(
+            f"{args.shape}/{app}: {'identical' if res['metrics_identical'] else 'DIVERGED'}, "
+            f"{res['detailed_events']} -> {res['hybrid_events']} events "
+            f"({res['event_ratio']:.2f}x), "
+            f"{res['hybrid_events_per_sec']:,.0f} ev/s hybrid vs "
+            f"{res['detailed_events_per_sec']:,.0f} ev/s detailed, "
+            f"ff fraction {res['ff_transit_fraction']:.0%}"
+        )
+
+    if args.write:
+        try:
+            with open(args.write) as f:
+                payload = json.load(f)
+        except (FileNotFoundError, json.JSONDecodeError):
+            payload = {}
+        payload.setdefault("hybrid", {"note": (
+            "Detailed-vs-hybrid A/B on the fig6-shaped sweeps.  "
+            "metrics_identical and the event ratios are deterministic; "
+            "events/sec is host-dependent (in pure Python the per-event "
+            "arbitration cost of fast-forwarding can outweigh the event "
+            "reduction in wall-clock terms; the contract is the event "
+            "count, not wall time).  event_ratio is detailed/hybrid "
+            "events fired; ff_transit_fraction is the share of packet "
+            "transit cycles advanced analytically instead of event by event."
+        ), "shapes": {}})
+        payload["hybrid"]["shapes"][args.shape] = measured
+        with open(args.write, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.write}")
+    if args.check:
+        return check(measured, args.check, args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

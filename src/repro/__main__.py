@@ -66,6 +66,11 @@ def _add_runner_flags(parser: argparse.ArgumentParser, default_jobs: int | None 
         "--trace-dir", default=None, metavar="DIR",
         help="write a Perfetto trace per executed job under DIR "
              "(cache hits produce no trace; off by default)")
+    parser.add_argument(
+        "--fidelity", choices=["detailed", "hybrid"], default="detailed",
+        help="hybrid fast-forwards conflict-free windows with analytic "
+             "costs (metric-identical, detailed fallback on a miss; "
+             "default: %(default)s)")
 
 
 def _progress_printer():
@@ -93,6 +98,7 @@ def _configure_runner(args: argparse.Namespace) -> None:
         progress=_progress_printer(),
         trace_dir=getattr(args, "trace_dir", None),
         shards=getattr(args, "shards", 0) or 0,
+        fidelity=getattr(args, "fidelity", None) or "detailed",
     )
 
 
@@ -328,10 +334,18 @@ def _cmd_app(args: argparse.Namespace) -> None:
         kwargs["config"] = MachineConfig(trace=True)
     kwargs.update(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
                   seed=args.seed)
+    if getattr(args, "fidelity", "detailed") != "detailed":
+        from .sim.hybrid import _with_fidelity
+
+        kwargs = _with_fidelity(kwargs, args.fidelity)
     if args.shards:
         from .sim import parallel
 
         result = parallel.call_app(runner, args.shards, kwargs)
+    elif getattr(args, "fidelity", "detailed") == "hybrid":
+        from .sim.hybrid import call_with_fallback
+
+        result = call_with_fallback(runner, kwargs)
     else:
         result = runner(**kwargs)
     ok = result_ok(result)
@@ -381,10 +395,18 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     kwargs = dict(
         n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed, obs=bus
     )
+    if getattr(args, "fidelity", "detailed") != "detailed":
+        from .sim.hybrid import _with_fidelity
+
+        kwargs = _with_fidelity(kwargs, args.fidelity)
     if args.shards:
         from .sim import parallel
 
         result = parallel.call_app(get_app(args.app), args.shards, kwargs)
+    elif getattr(args, "fidelity", "detailed") == "hybrid":
+        from .sim.hybrid import call_with_fallback
+
+        result = call_with_fallback(get_app(args.app), kwargs)
     else:
         result = get_app(args.app)(**kwargs)
     ok = result_ok(result)
@@ -534,6 +556,11 @@ def main(argv: list[str] | None = None) -> None:
         p.add_argument("--shards", type=int, default=0, metavar="K",
                        help="run the simulation across K worker processes "
                             "(0 = legacy sequential models)")
+        p.add_argument("--fidelity", choices=["detailed", "hybrid"],
+                       default="detailed",
+                       help="hybrid fast-forwards conflict-free windows "
+                            "with analytic costs (metric-identical; "
+                            "default: %(default)s)")
         p.set_defaults(func=_cmd_app, app=app)
 
     p = sub.add_parser(
@@ -553,6 +580,11 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--shards", type=int, default=0, metavar="K",
                    help="run the simulation across K worker processes "
                         "(0 = legacy sequential models)")
+    p.add_argument("--fidelity", choices=["detailed", "hybrid"],
+                   default="detailed",
+                   help="hybrid fast-forwards conflict-free windows with "
+                        "analytic costs; traces then contain FASTFORWARD "
+                        "spans marking skipped regions (default: %(default)s)")
     p.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)

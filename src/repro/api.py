@@ -139,6 +139,7 @@ def run(
     config: Any = None,
     obs: Any = None,
     shards: int | None = None,
+    fidelity: str | None = None,
     **app_kwargs: Any,
 ) -> "MachineReport":
     """Run one workload and return its :class:`~repro.machine.MachineReport`.
@@ -149,16 +150,32 @@ def run(
     under the conservative-window scheme (see
     :mod:`repro.sim.parallel`) — metrics are identical for every K ≥ 1,
     while ``shards=None`` (default) keeps the legacy sequential models.
-    Extra keywords are forwarded to the app (e.g. ``seed=``,
-    ``verify=``, ``kernel=``).  Raises :class:`~repro.errors.ProgramError`
-    for unknown apps or when the run fails its self-verification.
+    ``fidelity="hybrid"`` fast-forwards conflict-free windows with the
+    closed-form analytic costs (metric-identical by construction; see
+    :mod:`repro.sim.hybrid`), transparently falling back to one
+    detailed rerun if the fast-forward layer declares a miss;
+    ``fidelity=None`` defers to ``config`` (whose default is
+    ``"detailed"``).  Extra keywords are forwarded to the app (e.g.
+    ``seed=``, ``verify=``, ``kernel=``).  Raises
+    :class:`~repro.errors.ProgramError` for unknown apps or when the
+    run fails its self-verification.
     """
     fn = get_app(app)
     kwargs = dict(n_pes=n_pes, n=n, h=h, config=config, obs=obs, **app_kwargs)
+    if fidelity is not None:
+        from .sim.hybrid import _with_fidelity
+
+        kwargs = _with_fidelity(kwargs, fidelity)
     if shards:
         from .sim import parallel
 
         result = parallel.call_app(fn, shards, kwargs)
+    elif fidelity == "hybrid" or (
+        config is not None and config.fidelity == "hybrid" and fidelity is None
+    ):
+        from .sim.hybrid import call_with_fallback
+
+        result = call_with_fallback(fn, kwargs)
     else:
         result = fn(**kwargs)
     if not result_ok(result):

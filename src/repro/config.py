@@ -151,6 +151,15 @@ class MachineConfig:
         ``"detailed"`` walks every Omega stage and models per-port
         contention; ``"analytic"`` applies endpoint bandwidth plus the
         k+1-cycle hop latency only.
+    fidelity:
+        ``"detailed"`` (default) drains every event through the calendar
+        queue.  ``"hybrid"`` fast-forwards provably conflict-free
+        windows — uncontended packet transits, by-passing DMA services,
+        same-cycle EXU wake-ups — with the closed-form costs from
+        :mod:`repro.analysis`, falling back to detailed event-by-event
+        simulation (via :class:`~repro.errors.FastForwardMiss`) the
+        moment a contention precondition breaks.  Metrics are identical
+        by construction; only ``events_fired`` drops.
     seed:
         Seed for any stochastic choices (none in the core model, but
         workload generators consume it).
@@ -162,6 +171,7 @@ class MachineConfig:
     em4_mode: bool = False
     priority_replies: bool = False
     network_model: str = "detailed"
+    fidelity: str = "detailed"
     max_cycles: int = 4_000_000_000
     #: Record burst-level trace events for :mod:`repro.trace` timelines.
     trace: bool = False
@@ -179,6 +189,10 @@ class MachineConfig:
         if self.network_model not in ("detailed", "analytic"):
             raise ConfigError(
                 f"network_model must be 'detailed' or 'analytic', got {self.network_model!r}"
+            )
+        if self.fidelity not in ("detailed", "hybrid"):
+            raise ConfigError(
+                f"fidelity must be 'detailed' or 'hybrid', got {self.fidelity!r}"
             )
         if self.max_cycles < 1:
             raise ConfigError(f"max_cycles must be >= 1, got {self.max_cycles}")

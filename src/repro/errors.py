@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "ConfigError",
     "SimulationError",
+    "FastForwardMiss",
     "DeadlockError",
     "AddressError",
     "MemoryFault",
@@ -37,6 +38,20 @@ class ConfigError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
+
+
+class FastForwardMiss(SimulationError):
+    """A hybrid fast-forward precondition broke after the fact.
+
+    Raised by the ``fidelity="hybrid"`` machinery when an already
+    fast-forwarded window turns out to be contended (a packet would have
+    beaten a forwarded reservation to a port, a memory word read early
+    by a folded DMA was overwritten before the real service time, or the
+    canonical in-flight reconstruction is interleaving-dependent).  The
+    hybrid driver catches it and re-runs the workload at
+    ``fidelity="detailed"`` — metric exactness is preserved by falling
+    back, never by guessing.
+    """
 
 
 class DeadlockError(SimulationError):

@@ -55,6 +55,11 @@ class MachineReport:
     network: NetworkStats
     #: Per-PE burst traces (populated when ``MachineConfig.trace`` is on).
     traces: dict[int, list] | None = None
+    #: Hybrid-fidelity fast-forward accounting (``None`` for detailed
+    #: runs): how many packets/cycles were advanced analytically and how
+    #: many events that saved.  Diagnostic only — deliberately excluded
+    #: from metric comparisons, like ``events_fired``.
+    fastforward: dict | None = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -128,8 +133,11 @@ class EMX:
         self._next_tid = 0
         self._barriers: dict[int, GlobalBarrier] = {}
         self.pes = [EMCYProcessor(pe, self) for pe in range(self.config.n_pes)]
+        local_events = getattr(self.network, "ff_local_events", None)
         for proc in self.pes:
             self.network.attach(proc.pe, proc.deliver)
+            if local_events is not None:
+                local_events[proc.pe] = proc.pending_local_events
         if self.shard is None:
             self.engine.quiescence_watcher = self._stuck_report
 
@@ -167,7 +175,7 @@ class EMX:
             data=(func_name, args, None),
             words=_invoke_words(len(args)),
         )
-        self.engine.schedule(0, self.pes[pe].ibu.enqueue, pkt)
+        self.pes[pe].schedule_enqueue(self.engine.now, pkt)
 
     def create_thread(self, pe: int, func_name: str, args: tuple, cont) -> EMThread:
         """Instantiate a thread (EXU internal; called on INVOKE dispatch)."""
@@ -253,6 +261,9 @@ class EMX:
 
             return parallel.run_windowed(self, until)
         self.engine.run(until)
+        finalize = getattr(self.network, "finalize_stats", None)
+        if finalize is not None:
+            finalize()
         runtime = max((p.counters.last_active for p in self.pes), default=0)
         for proc in self.pes:
             proc.counters.check_accounting()
@@ -263,7 +274,25 @@ class EMX:
             counters=[p.counters for p in self.pes],
             network=self.network.stats,
             traces=self.traces() if self.config.trace else None,
+            fastforward=self._fastforward_summary(),
         )
+
+    def _fastforward_summary(self) -> dict | None:
+        """Fast-forward accounting for hybrid runs (None otherwise)."""
+        if self.config.fidelity != "hybrid":
+            return None
+        net = self.network
+        dma_folds = sum(p.ibu.dma_folds for p in self.pes)
+        kicks = sum(p.exu.kicks_inlined for p in self.pes)
+        return {
+            "packets_forwarded": getattr(net, "ff_packets", 0),
+            "packets_total": net.stats.packets,
+            "transit_cycles_forwarded": getattr(net, "ff_transit_cycles", 0),
+            "transit_cycles_total": net.stats.total_latency,
+            "dma_folds": dma_folds,
+            "kicks_inlined": kicks,
+            "events_saved": getattr(net, "ff_events_saved", 0) + dma_folds + kicks,
+        }
 
     def traces(self) -> dict[int, list]:
         """Per-PE trace events (requires ``MachineConfig(trace=True)``)."""

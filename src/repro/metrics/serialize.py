@@ -45,9 +45,14 @@ def counters_to_dict(c: PECounters) -> dict[str, Any]:
 
 
 def report_to_dict(report) -> dict[str, Any]:
-    """A :class:`~repro.machine.MachineReport` as a JSON-safe dict."""
+    """A :class:`~repro.machine.MachineReport` as a JSON-safe dict.
+
+    Hybrid-fidelity runs add a ``fastforward`` section (what the
+    fast-forward layer saved); detailed runs serialise exactly as they
+    always have, so cached records and goldens are unaffected.
+    """
     breakdown = report.breakdown
-    return {
+    out = {
         "config": {
             "n_pes": report.config.n_pes,
             "em4_mode": report.config.em4_mode,
@@ -75,6 +80,9 @@ def report_to_dict(report) -> dict[str, Any]:
         },
         "per_pe": [counters_to_dict(c) for c in report.counters],
     }
+    if getattr(report, "fastforward", None) is not None:
+        out["fastforward"] = dict(report.fastforward)
+    return out
 
 
 def run_record_from_report(

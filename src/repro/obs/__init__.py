@@ -39,6 +39,7 @@ from .events import (
     BarrierEvent,
     BurstSpan,
     Category,
+    FastForward,
     MatchEvent,
     PacketDeliver,
     PacketHop,
@@ -71,6 +72,7 @@ __all__ = [
     "BarrierEvent",
     "ThreadLife",
     "ServiceEvent",
+    "FastForward",
     "EventBus",
     "RingRecorder",
     "PacketSpan",

@@ -34,6 +34,7 @@ __all__ = [
     "BarrierEvent",
     "ThreadLife",
     "ServiceEvent",
+    "FastForward",
 ]
 
 
@@ -47,6 +48,7 @@ class Category(enum.Enum):
     BARRIER = "barrier"
     THREAD = "thread"
     SERVICE = "service"
+    FASTFORWARD = "fastforward"
 
 
 @dataclass(frozen=True, slots=True)
@@ -176,6 +178,32 @@ class ServiceEvent:
     key: str = ""
     n: int = 0
     value: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class FastForward:
+    """A conflict-free window advanced analytically (hybrid fidelity).
+
+    Emitted instead of the per-hop packet events the window would have
+    produced, so traces of ``fidelity="hybrid"`` runs show *where* the
+    engine skipped detailed simulation.  ``kind`` is one of ``net`` (an
+    uncontended packet transit forwarded to its delivery time), ``dma``
+    (a by-passing DMA service folded into its request's arrival), or
+    ``kick`` (an EXU wake-up dispatched inline without an event).
+    ``t``/``end`` bound the skipped window in cycles; ``pe`` is the
+    owning processor (the source PE for ``net``); ``seq`` identifies
+    the packet for packet-backed windows; ``saved`` counts the discrete
+    events the window did *not* fire.
+    """
+
+    category: ClassVar[Category] = Category.FASTFORWARD
+
+    t: int
+    end: int
+    pe: int
+    kind: str
+    seq: int = -1
+    saved: int = 0
 
 
 @dataclass(frozen=True, slots=True)

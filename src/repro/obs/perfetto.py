@@ -29,6 +29,7 @@ from ..config import CYCLE_SECONDS
 from .events import (
     BarrierEvent,
     BurstSpan,
+    FastForward,
     MatchEvent,
     PacketDeliver,
     PacketHop,
@@ -135,6 +136,9 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
                 trace.append(ev)
         elif et is PacketHop:
             trace.append(ev)
+        elif et is FastForward:
+            pes.add(ev.pe)
+            trace.append(ev)
         elif et is MatchEvent:
             pes.add(ev.pe)
             trace.append({
@@ -206,6 +210,23 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
                 "name": f"sw{item.node}.{item.bit}", "cat": "hop", "ph": "i",
                 "s": "t", "ts": _us(item.t), "pid": net_pid, "tid": 0,
                 "args": {"seq": _id(item.seq)},
+            })
+        elif et is FastForward:
+            # Skipped-region marker: a duration slice named FASTFORWARD
+            # on the network track, so hybrid traces show exactly which
+            # windows were advanced analytically instead of event by
+            # event.  Instantaneous windows (inline kicks) still render
+            # as zero-length slices, which the viewers accept.
+            out.append({
+                "name": "FASTFORWARD", "cat": f"fastforward:{item.kind}",
+                "ph": "X", "ts": _us(item.t),
+                "dur": _us(item.end) - _us(item.t),
+                "pid": net_pid, "tid": 1,
+                "args": {
+                    "kind": item.kind, "pe": item.pe,
+                    "cycles": item.end - item.t, "events_saved": item.saved,
+                    **({"seq": _id(item.seq)} if item.seq in norm or item.seq in sent_seqs else {}),
+                },
             })
     return {
         "traceEvents": out,

@@ -61,9 +61,15 @@ def machine_fingerprint(config: MachineConfig) -> str:
 
     Covers the nested :class:`~repro.config.TimingModel` too, so a
     recalibrated cycle cost invalidates cached results without anyone
-    remembering to bump the schema version.
+    remembering to bump the schema version.  ``fidelity`` is excluded:
+    the hybrid engine is differentially proven metric-identical to
+    detailed (see :mod:`repro.sim.hybrid`), so it is an execution
+    strategy, not a semantics change — the :class:`JobSpec` records it
+    separately when a job explicitly requests it.
     """
-    blob = json.dumps(asdict(config), sort_keys=True, separators=(",", ":"))
+    fields = asdict(config)
+    fields.pop("fidelity", None)
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
@@ -85,6 +91,11 @@ class JobSpec:
     #: cache key only records *that* the sharded semantics was used,
     #: never the worker count.
     shards: int = 0
+    #: "detailed" (default) drains every event; "hybrid" fast-forwards
+    #: conflict-free transit windows (see :mod:`repro.sim.hybrid`).
+    #: Metrics are differentially proven identical, but hybrid jobs
+    #: still key distinctly so a cache entry records how it was made.
+    fidelity: str = "detailed"
 
     def validate(self) -> None:
         """Raise on an unrunnable spec (unknown app, nonsense sizes)."""
@@ -99,6 +110,10 @@ class JobSpec:
             )
         if self.n_pes < 1 or self.npp < 1 or self.h < 1:
             raise ConfigError(f"n_pes/npp/h must be >= 1, got {self}")
+        if self.fidelity not in ("detailed", "hybrid"):
+            raise ConfigError(
+                f"fidelity must be 'detailed' or 'hybrid', got {self.fidelity!r}"
+            )
 
     def config(self) -> MachineConfig:
         """The machine this job runs on (same construction `run_app` used)."""
@@ -108,6 +123,7 @@ class JobSpec:
             network_model=self.network_model,
             priority_replies=self.priority_replies,
             seed=self.seed,
+            fidelity=self.fidelity,
         )
 
     def key(self) -> str:
@@ -125,6 +141,11 @@ class JobSpec:
             # The sharded network is a distinct (K-independent)
             # semantics; legacy specs keep their historical keys.
             payload["sharded"] = True
+        if self.fidelity != "detailed":
+            # Metric-identical by the differential oracle, but a cache
+            # entry still records how it was produced; detailed specs
+            # keep their historical keys.
+            payload["fidelity"] = self.fidelity
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -141,6 +162,8 @@ class JobSpec:
             extras.append(f"seed={self.seed}")
         if self.shards:
             extras.append(f"shards={self.shards}")
+        if self.fidelity != "detailed":
+            extras.append(self.fidelity)
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"{self.app} P={self.n_pes} n/P={self.npp} h={self.h}{suffix}"
 
@@ -166,6 +189,7 @@ _SPEC_FIELDS = {
     "priority_replies": bool,
     "seed": int,
     "shards": int,
+    "fidelity": str,
 }
 _SPEC_REQUIRED = ("app", "n_pes", "npp", "h")
 
@@ -206,6 +230,7 @@ def expand_sweep(
     network_model: str = "detailed",
     priority_replies: bool = False,
     seed: int = 0,
+    fidelity: str = "detailed",
 ) -> list[JobSpec]:
     """One (app, P, n/P) thread sweep as jobs, skipping h > n/P.
 
@@ -222,6 +247,7 @@ def expand_sweep(
             network_model=network_model,
             priority_replies=priority_replies,
             seed=seed,
+            fidelity=fidelity,
         )
         for h in threads
         if h <= npp

@@ -75,12 +75,21 @@ class RunnerOptions:
     #: sharded semantics with K processes each.  The pool fan-out is
     #: clamped so jobs × shards never oversubscribes the machine.
     shards: int = 0
+    #: Fidelity applied to jobs whose specs don't pin their own:
+    #: ``"hybrid"`` fast-forwards conflict-free windows (metric-proven
+    #: identical, with automatic detailed fallback on a miss; see
+    #: :mod:`repro.sim.hybrid`).
+    fidelity: str = "detailed"
 
     def validate(self) -> None:
         if self.jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {self.jobs}")
         if self.shards < 0:
             raise ConfigError(f"shards must be >= 0, got {self.shards}")
+        if self.fidelity not in ("detailed", "hybrid"):
+            raise ConfigError(
+                f"fidelity must be 'detailed' or 'hybrid', got {self.fidelity!r}"
+            )
         if self.timeout is not None and self.timeout <= 0:
             raise ConfigError(f"timeout must be positive, got {self.timeout}")
 
@@ -183,11 +192,14 @@ def _write_back(cache: ResultCache | None, spec: JobSpec, record) -> None:
 
 
 def _exec_spec(spec: JobSpec, options: RunnerOptions) -> JobSpec:
-    """The spec actually executed: ``options.shards`` applied unless the
-    spec pins its own shard count (memo and cache key off this one, so
-    sharded results never alias legacy entries)."""
+    """The spec actually executed: ``options.shards`` and
+    ``options.fidelity`` applied unless the spec pins its own (memo and
+    cache key off this one, so sharded/hybrid results never alias
+    legacy entries)."""
     if options.shards and not spec.shards:
-        return replace(spec, shards=options.shards)
+        spec = replace(spec, shards=options.shards)
+    if options.fidelity != "detailed" and spec.fidelity == "detailed":
+        spec = replace(spec, fidelity=options.fidelity)
     return spec
 
 

@@ -185,6 +185,13 @@ def execute_job(spec: JobSpec, *, trace_dir: str | None = None):
         from ..sim import parallel
 
         result = parallel.call_app(fn, spec.shards, kwargs)
+    elif spec.fidelity == "hybrid":
+        # Fast-forward with the detailed-rerun safety net: a
+        # FastForwardMiss costs one detailed execution, never a wrong
+        # (or differently-keyed) record.
+        from ..sim.hybrid import call_with_fallback
+
+        result = call_with_fallback(fn, kwargs)
     else:
         result = fn(**kwargs)
     verified = result_ok(result)

@@ -1,0 +1,310 @@
+"""Hybrid fast-forward fidelity: fallback helpers and the differential oracle.
+
+``fidelity="hybrid"`` replaces conflict-free stretches of detailed
+simulation with closed-form costs (uncontended packet transits walked
+arithmetically, by-passing DMA services folded into their request's
+arrival, EXU wake-ups dispatched inline) and keeps every metric
+bit-identical to the detailed engine.  That identity is a *proof
+obligation*, not an assumption: whatever arithmetic cannot arbitrate
+raises :class:`~repro.errors.FastForwardMiss`, and this module supplies
+the two pieces callers build on:
+
+* :func:`call_with_fallback` — run an app at hybrid fidelity, rerunning
+  at detailed fidelity if the fast-forward layer declares a miss.
+  Because a miss is raised *instead of* guessing, the fallback is always
+  safe — at worst the run costs detailed speed.
+
+* :class:`HybridDifferentialHarness` — the differential oracle (in the
+  spirit of :class:`~repro.sim.ReferenceEventQueue`): runs the same
+  workload at both fidelities and compares the full
+  :func:`~repro.metrics.serialize.report_to_dict` serialisation minus
+  the two diagnostic-only fields (``events_fired``, ``fastforward``)
+  that *should* differ.  On divergence it replays both runs under the
+  observability bus and names the first per-PE event where the
+  executions split, plus the fast-forward window that covered it —
+  which is what you debug, not the end-of-run aggregate that happened
+  to move.  :meth:`HybridDifferentialHarness.shrink` reduces a failing
+  shape (n, then h, then P) to a minimal reproducer first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from ..errors import FastForwardMiss
+
+__all__ = [
+    "FastForwardMiss",
+    "comparable_report",
+    "diff_paths",
+    "call_with_fallback",
+    "DifferentialResult",
+    "HybridDifferentialHarness",
+]
+
+#: Report fields the two fidelities legitimately disagree on: the whole
+#: point of fast-forwarding is firing fewer events, and the accounting
+#: of what was skipped only exists on the hybrid side.
+DIAGNOSTIC_FIELDS = ("events_fired", "fastforward")
+
+
+def comparable_report(report) -> dict:
+    """A report's serialisation with the diagnostic-only fields removed
+    — equality on this dict is the hybrid engine's correctness bar."""
+    from ..metrics.serialize import report_to_dict
+
+    out = report_to_dict(report)
+    for name in DIAGNOSTIC_FIELDS:
+        out.pop(name, None)
+    return out
+
+
+def diff_paths(a: Any, b: Any, prefix: str = "") -> list[str]:
+    """Dotted paths at which two JSON-like values differ (leaves only)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        out: list[str] = []
+        for key in sorted(set(a) | set(b), key=str):
+            here = f"{prefix}.{key}" if prefix else str(key)
+            if key not in a or key not in b:
+                out.append(here)
+            else:
+                out.extend(diff_paths(a[key], b[key], here))
+        return out
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            return [f"{prefix}.len" if prefix else "len"]
+        out = []
+        for i, (x, y) in enumerate(zip(a, b)):
+            out.extend(diff_paths(x, y, f"{prefix}[{i}]"))
+        return out
+    return [] if a == b else [prefix or "<root>"]
+
+
+def _with_fidelity(kwargs: dict, fidelity: str) -> dict:
+    """App kwargs with ``config.fidelity`` forced to ``fidelity``."""
+    from ..config import MachineConfig
+
+    out = dict(kwargs)
+    config = out.get("config")
+    if config is None:
+        out["config"] = MachineConfig(fidelity=fidelity)
+    else:
+        out["config"] = replace(config, fidelity=fidelity)
+    return out
+
+
+def call_with_fallback(fn: Callable[..., Any], kwargs: dict) -> Any:
+    """Call an app at hybrid fidelity; rerun detailed on a miss.
+
+    ``kwargs`` are the app's keyword arguments (any ``config`` inside is
+    overridden field-wise, never mutated).  The fast-forward layer
+    *raises* rather than guessing whenever elided events could have
+    changed an outcome, so the fallback can never return hybrid-tainted
+    numbers — a miss costs one detailed rerun and nothing else.
+    """
+    try:
+        return fn(**_with_fidelity(kwargs, "hybrid"))
+    except FastForwardMiss:
+        return fn(**_with_fidelity(kwargs, "detailed"))
+
+
+@dataclass
+class DifferentialResult:
+    """One detailed-vs-hybrid comparison of a single shape."""
+
+    app: str
+    shape: dict
+    detailed: Any  #: detailed MachineReport
+    hybrid: Any  #: hybrid MachineReport, or None when the run missed
+    miss: str | None  #: FastForwardMiss message, if the hybrid run fell back
+    diff: list[str] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        """Metric-identical (a clean miss also counts: falling back is
+        correct behaviour, just not a fast-forward win)."""
+        return not self.diff
+
+    @property
+    def events_saved_ratio(self) -> float:
+        """detailed/hybrid event ratio (1.0 when the hybrid run missed)."""
+        if self.hybrid is None or not self.hybrid.events_fired:
+            return 1.0
+        return self.detailed.events_fired / self.hybrid.events_fired
+
+    def describe(self) -> str:
+        shape = " ".join(f"{k}={v}" for k, v in self.shape.items())
+        if self.miss is not None:
+            return f"{self.app} {shape}: miss ({self.miss})"
+        if self.diff:
+            return f"{self.app} {shape}: DIVERGED at {', '.join(self.diff[:4])}"
+        return f"{self.app} {shape}: identical, {self.events_saved_ratio:.2f}x fewer events"
+
+
+class HybridDifferentialHarness:
+    """Differential oracle: detailed is ground truth, hybrid must match.
+
+    ``harness.check(n_pes=4, n=64, h=2)`` runs both fidelities and
+    raises ``AssertionError`` on any metric difference, naming the first
+    divergent per-PE event and the fast-forward window that covered it.
+    Use :meth:`run_pair` for the non-raising form and :meth:`shrink` to
+    minimise a failing shape before diagnosing it.
+    """
+
+    def __init__(self, app: str = "sort", **base_kwargs: Any) -> None:
+        self.app = app
+        self.base_kwargs = base_kwargs
+
+    # -- execution ----------------------------------------------------
+    def _run(self, fidelity: str, shape: dict, obs=None):
+        from ..api import get_app, result_ok
+        from ..errors import ProgramError
+
+        fn = get_app(self.app)
+        kwargs = _with_fidelity({**self.base_kwargs, **shape}, fidelity)
+        kwargs["obs"] = obs
+        result = fn(**kwargs)
+        if not result_ok(result):
+            raise ProgramError(f"{self.app} {shape} failed self-verification")
+        return result.report
+
+    def run_pair(self, **shape: Any) -> DifferentialResult:
+        """Run the shape at both fidelities and compare reports."""
+        detailed = self._run("detailed", shape)
+        try:
+            hybrid = self._run("hybrid", shape)
+        except FastForwardMiss as exc:
+            return DifferentialResult(self.app, shape, detailed, None, str(exc))
+        diff = diff_paths(comparable_report(detailed), comparable_report(hybrid))
+        return DifferentialResult(self.app, shape, detailed, hybrid, None, diff)
+
+    def check(self, **shape: Any) -> DifferentialResult:
+        """Assert metric identity for one shape; returns the result."""
+        result = self.run_pair(**shape)
+        if not result.identical:
+            small = self.shrink(dict(shape))
+            raise AssertionError(
+                f"hybrid diverged from detailed: {result.describe()}\n"
+                f"minimal failing shape: {small.shape}\n"
+                f"{self.first_divergence(small.shape)}"
+            )
+        return result
+
+    # -- diagnosis ----------------------------------------------------
+    def shrink(self, shape: dict) -> DifferentialResult:
+        """Reduce a failing shape to a minimal still-failing one.
+
+        Greedy halving, one axis at a time (n first — it shrinks the
+        run fastest — then h, then n_pes), keeping each candidate only
+        if it still diverges.  App shape constraints surface as
+        ``ProgramError``; such candidates are simply skipped.
+        """
+        from ..errors import ProgramError
+
+        current = self.run_pair(**shape)
+        if current.identical:
+            return current
+        shrinking = True
+        while shrinking:
+            shrinking = False
+            for axis in ("n", "h", "n_pes"):
+                value = current.shape.get(axis)
+                while isinstance(value, int) and value > 1:
+                    candidate = {**current.shape, axis: value // 2}
+                    try:
+                        attempt = self.run_pair(**candidate)
+                    except ProgramError:
+                        break  # shape constraint: this axis is done
+                    if attempt.identical:
+                        break
+                    current = attempt
+                    value = current.shape[axis]
+                    shrinking = True
+        return current
+
+    def first_divergence(self, shape: dict) -> str:
+        """Name the first per-PE event where the two executions split,
+        and the fast-forward window that covered it.
+
+        Both runs are replayed under the event bus.  Per-PE streams of
+        execution events (bursts, switches, barriers) are compared in
+        emission order — the same-cycle sequencing protocol makes the
+        hybrid engine's per-PE order exact, so the first mismatch *is*
+        the first divergent action.  The enclosing diagnostic is the
+        latest ``FASTFORWARD`` window on that PE at or before the
+        divergence cycle: the analytic step whose cost model to suspect.
+        """
+        from ..obs import Category, EventBus, RingRecorder
+
+        def record(fidelity: str):
+            bus = EventBus()
+            rec = RingRecorder(bus)
+            try:
+                self._run(fidelity, shape, obs=bus)
+            except FastForwardMiss as exc:
+                return None, str(exc)
+            return list(rec.events), None
+
+        det_events, _ = record("detailed")
+        hyb_events, miss = record("hybrid")
+        if hyb_events is None:
+            return f"hybrid run misses on this shape: {miss}"
+
+        compared = (Category.BURST, Category.SWITCH, Category.BARRIER)
+
+        def per_pe(events):
+            # Barrier ids come from a process-global counter, so two
+            # consecutive runs never agree on them; normalise to
+            # first-seen order, which *is* comparable across runs.
+            barrier_ids: dict[int, int] = {}
+            streams: dict[int, list] = {}
+            for ev in events:
+                if ev.category not in compared:
+                    continue
+                if ev.category is Category.BARRIER:
+                    dense = barrier_ids.setdefault(ev.barrier_id, len(barrier_ids))
+                    ev = replace(ev, barrier_id=dense)
+                streams.setdefault(ev.pe, []).append(ev)
+            return streams
+
+        det_pe, hyb_pe = per_pe(det_events), per_pe(hyb_events)
+        first: tuple[int, int, str] | None = None  # (t, pe, message)
+        for pe in sorted(set(det_pe) | set(hyb_pe)):
+            da, hb = det_pe.get(pe, []), hyb_pe.get(pe, [])
+            for i in range(max(len(da), len(hb))):
+                if i >= len(da) or i >= len(hb) or da[i] != hb[i]:
+                    d = da[i] if i < len(da) else "<stream ended>"
+                    h = hb[i] if i < len(hb) else "<stream ended>"
+                    t = min(
+                        getattr(d, "t", float("inf")),
+                        getattr(h, "t", float("inf")),
+                    )
+                    if first is None or (t, pe) < first[:2]:
+                        first = (
+                            t,
+                            pe,
+                            f"first divergent event on PE {pe} (index {i}): "
+                            f"detailed={d!r} hybrid={h!r}",
+                        )
+                    break
+        if first is None:
+            return (
+                "per-PE execution streams are identical; the divergence "
+                "is in aggregate accounting only (compare the diff paths)"
+            )
+        t, pe, message = first
+        window = None
+        for ev in hyb_events:
+            if ev.category is Category.FASTFORWARD and ev.pe == pe and ev.t <= t:
+                if window is None or ev.t >= window.t:
+                    window = ev
+        if window is not None:
+            message += (
+                f"\nfirst divergent window: {window.kind} fast-forward on "
+                f"PE {window.pe} covering cycles [{window.t}, {window.end}]"
+                + (f" (packet {window.seq})" if window.seq >= 0 else "")
+            )
+        else:
+            message += f"\nno fast-forward window on PE {pe} precedes cycle {t}"
+        return message

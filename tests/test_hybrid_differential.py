@@ -1,0 +1,316 @@
+"""Differential oracle for the hybrid fast-forward engine.
+
+The hybrid fidelity's contract is *metric identity*: every number a
+detailed run produces — runtime cycles, per-PE switch counts, network
+stats, breakdowns — must come out bit-identical when conflict-free
+windows are advanced analytically.  These tests enforce that contract
+three ways:
+
+* the full fig6/fig7 sweep grid (tiny scale) for both paper workloads,
+  with the fast-forward win itself asserted on the conflict-free
+  low-h points;
+* a seeded randomized-shape sweep over tiny machines, plus direct
+  exercises of the harness's shrinking and first-divergence diagnosis;
+* the integration seams — sharded execution, the runner's JobSpec
+  keying, and Perfetto tracing of fast-forward windows.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+from dataclasses import replace
+
+import pytest
+
+import repro
+from repro import MachineConfig
+from repro.errors import FastForwardMiss
+from repro.experiments.common import THREAD_SWEEP
+from repro.metrics.serialize import run_record_to_dict
+from repro.obs import Category, EventBus, RingRecorder, to_perfetto, validate_perfetto
+from repro.runner.jobs import JobSpec, machine_fingerprint, spec_from_dict, spec_to_dict
+from repro.runner.worker import execute_job
+from repro.sim.hybrid import (
+    HybridDifferentialHarness,
+    call_with_fallback,
+    comparable_report,
+    diff_paths,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+#: The fig6/fig7 sweep grid at the tiny scale: both workloads on the
+#: small (P=8) and large (P=16) machines over the full per-PE size
+#: ladder.  fig7 derives its curves from fig6's runs, so this grid *is*
+#: both figures' coverage.
+FIG_GRID = [
+    (app, n_pes, npp)
+    for app in ("sort", "fft")
+    for n_pes in (8, 16)
+    for npp in (8, 16, 32)
+]
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: fig6/fig7 grid equality
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("app,n_pes,npp", FIG_GRID)
+def test_fig_grid_metric_identical(app, n_pes, npp):
+    """Hybrid matches detailed on every (shape, h) the figures sweep,
+    never fires more events, and wins >=3x on the conflict-free h=1
+    points (the paper's single-thread latency-bound regime)."""
+    harness = HybridDifferentialHarness(app, seed=0)
+    for h in THREAD_SWEEP:
+        if h > npp:
+            continue
+        result = harness.check(n_pes=n_pes, n=n_pes * npp, h=h)
+        assert result.miss is None, f"unexpected fallback: {result.describe()}"
+        ratio = result.events_saved_ratio
+        assert ratio >= 1.0, f"hybrid fired MORE events: {result.describe()}"
+        if h == 1:
+            assert ratio >= 3.0, f"fast-forward win too small: {result.describe()}"
+
+
+def test_run_records_identical_modulo_event_count():
+    """The serialised RunRecord — what figures and the cache consume —
+    is equal across fidelities except for the diagnostic event count."""
+    for app in ("sort", "fft"):
+        records = {}
+        for fidelity in ("detailed", "hybrid"):
+            spec = JobSpec(app=app, n_pes=8, npp=8, h=2, fidelity=fidelity)
+            payload = run_record_to_dict(execute_job(spec))
+            assert payload.pop("events") > 0
+            records[fidelity] = payload
+        assert records["detailed"] == records["hybrid"]
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: randomized shapes + the shrinking/diagnosis machinery
+# ----------------------------------------------------------------------
+def test_randomized_small_shapes():
+    """Seeded property sweep: tiny machines (P <= 4, n <= 64, h <= 4).
+
+    On failure, ``check`` shrinks the shape and names the first
+    divergent per-PE event and its fast-forward window — the
+    AssertionError it raises *is* the shrunk reproducer.
+    """
+    rng = random.Random(0x0E4)
+    harnesses = {app: HybridDifferentialHarness(app, seed=0) for app in ("sort", "fft")}
+    seen = set()
+    for _ in range(16):
+        app = rng.choice(("sort", "fft"))
+        n_pes = rng.choice((2, 4) if app == "fft" else (1, 2, 4))
+        npp = rng.choice((1, 2, 4, 8, 16))
+        h = rng.randint(1, min(4, npp))
+        shape = (app, n_pes, n_pes * npp, h)
+        if n_pes * npp > 64 or shape in seen:
+            continue
+        seen.add(shape)
+        result = harnesses[app].check(n_pes=n_pes, n=n_pes * npp, h=h)
+        assert result.identical
+
+
+class _PerturbedHarness(HybridDifferentialHarness):
+    """Test double: runs detailed on both sides but reports one extra
+    cycle for 'hybrid', manufacturing a divergence on every shape so the
+    shrinker's fixed point and error text can be asserted."""
+
+    def _run(self, fidelity, shape, obs=None):
+        report = super()._run("detailed", shape, obs=obs)
+        if fidelity == "hybrid":
+            report = replace(report, runtime_cycles=report.runtime_cycles + 1)
+        return report
+
+
+def test_shrink_reduces_to_minimal_shape():
+    harness = _PerturbedHarness("sort", seed=0)
+    small = harness.shrink({"n_pes": 2, "n": 16, "h": 2})
+    # Every shape diverges, so the shrinker should bottom out at the
+    # smallest shape the app accepts: one PE, one element, one thread.
+    assert small.shape == {"n_pes": 1, "n": 1, "h": 1}
+    assert not small.identical
+    assert "runtime_cycles" in small.diff
+
+
+def test_check_raises_with_shrunk_reproducer():
+    harness = _PerturbedHarness("sort", seed=0)
+    with pytest.raises(AssertionError) as excinfo:
+        harness.check(n_pes=2, n=16, h=2)
+    message = str(excinfo.value)
+    assert "minimal failing shape" in message
+    # The perturbation is aggregate-only, so the replay correctly finds
+    # no per-PE stream divergence.
+    assert "aggregate accounting only" in message
+
+
+class _SkewedHarness(HybridDifferentialHarness):
+    """Test double: the 'hybrid' side genuinely runs the hybrid engine
+    but with one thread fewer, so the per-PE execution streams truly
+    split and the window-naming diagnosis has something to find."""
+
+    def _run(self, fidelity, shape, obs=None):
+        if fidelity == "hybrid" and shape.get("h", 1) > 1:
+            shape = {**shape, "h": shape["h"] - 1}
+        return super()._run(fidelity, shape, obs=obs)
+
+
+def test_first_divergence_names_event_and_window():
+    harness = _SkewedHarness("sort", seed=0)
+    message = harness.first_divergence({"n_pes": 4, "n": 32, "h": 2})
+    assert "first divergent event on PE" in message
+    # Whichever way the trace falls, the diagnosis must report the
+    # fast-forward window question: either the covering window or the
+    # (exculpatory) absence of one.
+    assert "first divergent window" in message or "no fast-forward window" in message
+
+
+def test_first_divergence_on_identical_runs():
+    harness = HybridDifferentialHarness("sort", seed=0)
+    message = harness.first_divergence({"n_pes": 2, "n": 16, "h": 2})
+    assert "identical" in message
+
+
+def test_harness_reports_miss_as_fallback():
+    class _MissingHarness(HybridDifferentialHarness):
+        def _run(self, fidelity, shape, obs=None):
+            if fidelity == "hybrid":
+                raise FastForwardMiss("synthetic miss")
+            return super()._run(fidelity, shape, obs=obs)
+
+    result = _MissingHarness("sort", seed=0).run_pair(n_pes=2, n=16, h=2)
+    assert result.miss == "synthetic miss"
+    assert result.identical  # falling back is correct, not a divergence
+    assert result.events_saved_ratio == 1.0
+    assert "miss" in result.describe()
+
+
+def test_call_with_fallback_reruns_detailed_on_miss():
+    fidelities_called = []
+
+    class _Result:
+        report = object()
+        verified = True
+
+    def fake_app(**kwargs):
+        fidelities_called.append(kwargs["config"].fidelity)
+        if kwargs["config"].fidelity == "hybrid":
+            raise FastForwardMiss("window could not be arbitrated")
+        return _Result()
+
+    out = call_with_fallback(fake_app, {"n_pes": 2, "n": 16, "h": 2, "config": None})
+    assert isinstance(out, _Result)
+    assert fidelities_called == ["hybrid", "detailed"]
+
+
+def test_diff_paths_names_leaf_differences():
+    a = {"cycles": 10, "network": {"hops": [1, 2], "peak": 3}}
+    b = {"cycles": 11, "network": {"hops": [1, 5], "peak": 3}}
+    assert diff_paths(a, b) == ["cycles", "network.hops[1]"]
+    assert diff_paths(a, a) == []
+    assert diff_paths({"x": 1}, {"y": 1}) == ["x", "y"]
+
+
+# ----------------------------------------------------------------------
+# Satellite 3a: sharded execution x hybrid
+# ----------------------------------------------------------------------
+def test_sharded_hybrid_cross_k_identity():
+    """Sharded runs ignore the hybrid fast-forward layer (cross-process
+    windows can't be arbitrated analytically), so hybrid specs must
+    produce records identical to detailed ones at every K — including
+    the event count."""
+    base = dict(app="sort", n_pes=4, npp=8, h=2)
+    records = {
+        label: run_record_to_dict(execute_job(JobSpec(**base, **extra)))
+        for label, extra in {
+            "detailed-k1": {"shards": 1},
+            "hybrid-k1": {"shards": 1, "fidelity": "hybrid"},
+            "hybrid-k2": {"shards": 2, "fidelity": "hybrid"},
+        }.items()
+    }
+    assert records["detailed-k1"] == records["hybrid-k1"] == records["hybrid-k2"]
+
+
+def test_run_api_sharded_hybrid_config_matches_detailed():
+    config = MachineConfig(fidelity="hybrid")
+    hybrid_sharded = repro.run("sort", n=32, n_pes=4, h=2, config=config, shards=2)
+    detailed = repro.run("sort", n=32, n_pes=4, h=2, shards=2)
+    assert comparable_report(hybrid_sharded) == comparable_report(detailed)
+
+
+# ----------------------------------------------------------------------
+# Satellite 3b: runner/JobSpec integration
+# ----------------------------------------------------------------------
+def test_hybrid_jobspec_roundtrips_and_keys_distinctly():
+    spec = JobSpec(app="sort", n_pes=4, npp=16, h=2, fidelity="hybrid")
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+    assert spec.key() != replace(spec, fidelity="detailed").key()
+
+
+def test_fidelity_outside_machine_fingerprint():
+    """Fidelity is an execution strategy, not a machine: the config
+    fingerprint ignores it, so hybrid-validated records stay compatible
+    with the historical detailed cache namespace (the JobSpec payload —
+    not the fingerprint — is what keys hybrid runs separately)."""
+    assert machine_fingerprint(MachineConfig(fidelity="hybrid")) == machine_fingerprint(
+        MachineConfig()
+    )
+
+
+def test_hybrid_spec_executes_hybrid_engine():
+    record = execute_job(JobSpec(app="sort", n_pes=4, npp=8, h=1, fidelity="hybrid"))
+    detailed = execute_job(JobSpec(app="sort", n_pes=4, npp=8, h=1))
+    assert record.events < detailed.events  # fast-forward actually engaged
+    d, h = run_record_to_dict(detailed), run_record_to_dict(record)
+    d.pop("events"), h.pop("events")
+    assert d == h
+
+
+# ----------------------------------------------------------------------
+# Satellite 3c: observability — FASTFORWARD spans in Perfetto traces
+# ----------------------------------------------------------------------
+def _hybrid_trace(n_pes=2, n=16, h=2):
+    bus = EventBus()
+    rec = RingRecorder(bus)
+    repro.run(
+        "sort", n=n, n_pes=n_pes, h=h, seed=0,
+        config=MachineConfig(fidelity="hybrid"), obs=bus,
+    )
+    return rec.events
+
+
+def test_hybrid_perfetto_matches_golden():
+    fresh = to_perfetto(_hybrid_trace(), n_pes=2)
+    golden = json.loads(
+        (GOLDEN_DIR / "sort_p2_n16_h2.hybrid.perfetto.json").read_text()
+    )
+    assert fresh == golden
+
+
+def test_hybrid_perfetto_contains_fastforward_spans():
+    obj = to_perfetto(_hybrid_trace(), n_pes=2)
+    assert validate_perfetto(obj) == []
+    spans = [e for e in obj["traceEvents"] if e.get("name") == "FASTFORWARD"]
+    assert spans, "hybrid trace carries no FASTFORWARD spans"
+    kinds = set()
+    for span in spans:
+        assert span["ph"] == "X"
+        assert span["cat"].startswith("fastforward:")
+        assert span["args"]["events_saved"] >= 0
+        kinds.add(span["args"]["kind"])
+    assert kinds <= {"net", "dma", "kick"}
+    # Saved-event accounting in the trace must agree with the report.
+    report = repro.run(
+        "sort", n=16, n_pes=2, h=2, seed=0, config=MachineConfig(fidelity="hybrid")
+    )
+    assert sum(s["args"]["events_saved"] for s in spans) == report.fastforward[
+        "events_saved"
+    ]
+
+
+def test_detailed_trace_has_no_fastforward_events():
+    bus = EventBus()
+    rec = RingRecorder(bus)
+    repro.run("sort", n=16, n_pes=2, h=2, seed=0, obs=bus)
+    assert all(ev.category is not Category.FASTFORWARD for ev in rec.events)
