@@ -10,8 +10,9 @@ Usage::
     python -m repro sweep --jobs 8    # pre-run every figure in parallel
     python -m repro export --out csv  # all figures as CSV (cached)
     python -m repro cache stats       # inspect the on-disk result store
+    python -m repro apps              # list registered workloads + flags
     python -m repro sort --pes 8 --size 128 --threads 4
-    python -m repro fft  --pes 8 --size 128 --threads 4
+    python -m repro fft  --pes 8 --size 128 --threads 4 --compiled
     python -m repro sort --timeline    # ASCII per-PE activity timeline
     python -m repro trace fft --out run.perfetto.json  # Perfetto trace
     python -m repro serve --port 8737  # start the multi-client sweep service
@@ -71,6 +72,12 @@ def _add_runner_flags(parser: argparse.ArgumentParser, default_jobs: int | None 
         help="hybrid fast-forwards conflict-free windows with analytic "
              "costs (metric-identical, detailed fallback on a miss; "
              "default: %(default)s)")
+    parser.add_argument(
+        "--compiled", action="store_true",
+        help="route thread creation through the cohort compiler: threads "
+             "sharing a recorded effect-trace shape replay it batched "
+             "(byte-identical metrics and events, per-thread interpreter "
+             "bailout; off by default)")
 
 
 def _progress_printer():
@@ -99,6 +106,7 @@ def _configure_runner(args: argparse.Namespace) -> None:
         trace_dir=getattr(args, "trace_dir", None),
         shards=getattr(args, "shards", 0) or 0,
         fidelity=getattr(args, "fidelity", None) or "detailed",
+        compiled=getattr(args, "compiled", False),
     )
 
 
@@ -318,6 +326,52 @@ def _cmd_goldens(args: argparse.Namespace) -> None:
         sys.exit(2)
 
 
+def _compiled_config(config):
+    """``config`` with the cohort compiler switched on (None -> fresh)."""
+    from dataclasses import replace
+
+    from .config import MachineConfig
+
+    if config is None:
+        return MachineConfig(compiled=True)
+    return replace(config, compiled=True)
+
+
+def _cmd_apps(args: argparse.Namespace) -> None:
+    """List every registered workload: names, unified signature, flags."""
+    import inspect
+
+    from .api import APPS, app_names
+
+    app_names()  # populate the registry
+    entries = []
+    seen: set[int] = set()
+    for name in sorted(APPS):
+        fn = APPS[name]
+        if id(fn) in seen:
+            continue
+        seen.add(id(fn))
+        canonical, *aliases = getattr(fn, "app_names", (name,))
+        params = list(inspect.signature(inspect.unwrap(fn)).parameters)
+        entries.append({
+            "name": canonical,
+            "aliases": aliases,
+            "signature": params,
+            "flags": ["--shards", "--fidelity", "--compiled"],
+        })
+    if args.json:
+        import json
+
+        print(json.dumps(entries, indent=2, sort_keys=True))
+        return
+    for entry in entries:
+        alias = f"  (aliases: {', '.join(entry['aliases'])})" if entry["aliases"] else ""
+        print(f"{entry['name']}{alias}")
+        print(f"  signature: {', '.join(entry['signature'])}")
+    print("\nevery app runs through repro.run(...) and supports "
+          "--shards K, --fidelity hybrid, and --compiled")
+
+
 def _cmd_app(args: argparse.Namespace) -> None:
     runner = get_app(args.app)
     kwargs: dict = {}
@@ -334,6 +388,8 @@ def _cmd_app(args: argparse.Namespace) -> None:
         kwargs["config"] = MachineConfig(trace=True)
     kwargs.update(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
                   seed=args.seed)
+    if getattr(args, "compiled", False):
+        kwargs["config"] = _compiled_config(kwargs.get("config"))
     if getattr(args, "fidelity", "detailed") != "detailed":
         from .sim.hybrid import _with_fidelity
 
@@ -395,6 +451,8 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     kwargs = dict(
         n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed, obs=bus
     )
+    if getattr(args, "compiled", False):
+        kwargs["config"] = _compiled_config(kwargs.get("config"))
     if getattr(args, "fidelity", "detailed") != "detailed":
         from .sim.hybrid import _with_fidelity
 
@@ -537,6 +595,11 @@ def main(argv: list[str] | None = None) -> None:
                    help="service URL (default: %(default)s)")
     p.set_defaults(func=_cmd_svc_status)
 
+    p = sub.add_parser("apps", help="list registered workloads and their flags")
+    p.add_argument("--json", action="store_true",
+                   help="emit the registry as JSON")
+    p.set_defaults(func=_cmd_apps)
+
     p = sub.add_parser("goldens", help="check or regenerate golden runs")
     p.add_argument("--write", metavar="DIR", help="write fresh goldens to DIR")
     p.add_argument("--check", metavar="DIR", help="diff fresh runs against DIR")
@@ -561,6 +624,9 @@ def main(argv: list[str] | None = None) -> None:
                        help="hybrid fast-forwards conflict-free windows "
                             "with analytic costs (metric-identical; "
                             "default: %(default)s)")
+        p.add_argument("--compiled", action="store_true",
+                       help="route thread creation through the cohort "
+                            "compiler (byte-identical; off by default)")
         p.set_defaults(func=_cmd_app, app=app)
 
     p = sub.add_parser(
@@ -585,6 +651,10 @@ def main(argv: list[str] | None = None) -> None:
                    help="hybrid fast-forwards conflict-free windows with "
                         "analytic costs; traces then contain FASTFORWARD "
                         "spans marking skipped regions (default: %(default)s)")
+    p.add_argument("--compiled", action="store_true",
+                   help="route thread creation through the cohort compiler; "
+                        "traces then contain COHORT diagnostic events "
+                        "(byte-identical otherwise; off by default)")
     p.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)

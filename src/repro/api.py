@@ -140,6 +140,7 @@ def run(
     obs: Any = None,
     shards: int | None = None,
     fidelity: str | None = None,
+    compiled: bool | None = None,
     **app_kwargs: Any,
 ) -> "MachineReport":
     """Run one workload and return its :class:`~repro.machine.MachineReport`.
@@ -155,13 +156,29 @@ def run(
     :mod:`repro.sim.hybrid`), transparently falling back to one
     detailed rerun if the fast-forward layer declares a miss;
     ``fidelity=None`` defers to ``config`` (whose default is
-    ``"detailed"``).  Extra keywords are forwarded to the app (e.g.
+    ``"detailed"``).  ``compiled=True`` routes thread creation through
+    the cohort compiler (:mod:`repro.compile`) — identical metrics and
+    events with threads of a shared shape replaying a compiled effect
+    trace; ``compiled=None`` defers to ``config``.  Extra keywords are
+    forwarded to the app (e.g.
     ``seed=``, ``verify=``, ``kernel=``).  Raises
     :class:`~repro.errors.ProgramError` for unknown apps or when the
     run fails its self-verification.
     """
     fn = get_app(app)
     kwargs = dict(n_pes=n_pes, n=n, h=h, config=config, obs=obs, **app_kwargs)
+    if compiled is not None:
+        from dataclasses import replace as _replace
+
+        from .config import MachineConfig
+
+        cfg = kwargs.get("config")
+        kwargs["config"] = (
+            MachineConfig(compiled=compiled)
+            if cfg is None
+            else _replace(cfg, compiled=compiled)
+        )
+        config = kwargs["config"]
     if fidelity is not None:
         from .sim.hybrid import _with_fidelity
 

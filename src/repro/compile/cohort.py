@@ -1,0 +1,373 @@
+"""Cohort matcher and batched stepper for compiled thread execution.
+
+One :class:`CohortManager` lives on each machine built with
+``MachineConfig(compiled=True)``.  :meth:`CohortManager.instantiate` is
+the single entry point, called by ``EMX.create_thread`` in place of the
+plain ``func(ctx, *args)`` generator construction, and returns a
+generator with the exact same yield protocol — the EXU cannot tell the
+difference.  Internally it routes each new thread down one of three
+paths:
+
+**EM-C threads** (functions tagged ``__emc_thread__`` by
+:class:`repro.emc.interp.CompiledProgram`) are compiled once per thread
+definition and shared by every instance: first the Python code
+generator (:mod:`repro.compile.codegen`), then the flat trace VM
+(:mod:`repro.compile.trace`) when codegen declines, then the reference
+AST interpreter.  Both compile tiers bail out under exactly the
+conditions where their semantics could drift (:class:`LoweringError`),
+so the fallback chain never changes observable behaviour.
+
+**Generator threads** are grouped into *cohorts* keyed by
+``(function, arg count)``.  The first instance of a shape is recorded
+symbolically (:mod:`repro.compile.recorder`) into a parameterized
+effect trace; later instances join an existing cohort when every
+argument-only guard of its trace evaluates to the recorded outcome
+under their own ``(pe, n_pes, args)`` bindings, and otherwise record a
+new trace (different branch outcomes are a different shape).  Cohort
+members replay the shared trace through a flat operand table — one
+list lookup plus one ``yield`` per effect instead of resuming the
+guest frame — with resume values forwarded into the operand slots that
+reference them.
+
+**Membership validation.**  Recording proves the trace faithful for
+the representative; sampled members (the first joiner, then every
+``VALIDATE_STRIDE``-th) replay in *lockstep* with a real interpreted
+generator, comparing every effect.  The first divergence triggers the
+per-thread bailout: the member silently continues on its interpreted
+generator — already advanced to the right point by the lockstep — and
+the event is counted and mirrored onto the obs bus as a ``COHORT``
+event.  With ``strict`` set (the differential harness does this), a
+divergence raises :class:`~repro.errors.CompileDivergence` carrying
+the first-divergent-effect diagnosis instead.
+
+Threads carrying a call continuation, threads whose shape the recorder
+declines, and shapes that keep failing to record fall back to the
+interpreter per-thread — never per-run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from ..errors import CompileDivergence
+from ..obs.events import CohortEvent
+from .codegen import codegen_thread
+from .lower_emc import LoweringError, lower_thread
+from .recorder import (
+    RecordedTrace,
+    RecordingUnsupported,
+    _has_resume,
+    eval_expr,
+    record_thread,
+)
+from .trace import run_trace
+
+__all__ = ["CohortManager", "Cohort", "VALIDATE_STRIDE", "strict_cohorts"]
+
+#: Default for :attr:`CohortManager.strict` on new managers; flipped by
+#: :func:`strict_cohorts` so harnesses reach managers built deep inside
+#: an app call.
+_STRICT_DEFAULT = False
+
+
+@contextmanager
+def strict_cohorts():
+    """Make cohort managers built inside the block raise on divergence.
+
+    The differential harness and the divergence tests run under this so
+    a validated member's bailout — silent, by design, in production —
+    surfaces as :class:`~repro.errors.CompileDivergence` instead.
+    """
+    global _STRICT_DEFAULT
+    prev = _STRICT_DEFAULT
+    _STRICT_DEFAULT = True
+    try:
+        yield
+    finally:
+        _STRICT_DEFAULT = prev
+
+#: Lockstep-validate the first member joining a cohort after the
+#: representative, then every VALIDATE_STRIDE-th joiner.
+VALIDATE_STRIDE = 64
+
+#: Give up on a (function, arity) shape after this many failed
+#: recordings; later instances skip straight to the interpreter.
+_MAX_RECORD_FAILURES = 2
+
+
+class Cohort:
+    """One trace shape plus the members executing it."""
+
+    __slots__ = ("trace", "func", "plan", "members", "validated", "bailouts")
+
+    def __init__(self, trace: RecordedTrace, func: Callable) -> None:
+        self.trace = trace
+        self.func = func
+        #: Flat effect plan: (method name, operand exprs, any operand
+        #: references a resume, resume slot index or -1).
+        self.plan = tuple(
+            (op[1], op[2], any(_has_resume(e) for e in op[2]), op[4])
+            for op in trace.ops
+            if op[0] == "eff"
+        )
+        self.members = 0
+        self.validated = 0
+        self.bailouts = 0
+
+
+class CohortManager:
+    """Per-machine compile cache, cohort table, and statistics."""
+
+    def __init__(self, machine) -> None:
+        self._machine = machine
+        self._obs = machine.obs
+        #: Raise CompileDivergence instead of bailing out silently —
+        #: set by the differential harness and divergence tests.
+        self.strict = _STRICT_DEFAULT
+        # EM-C tier cache: (id(CompiledProgram), thread name) -> (tier, obj)
+        self._emc_cache: dict[tuple[int, str], tuple[str, Any]] = {}
+        self._emc_programs: list = []  # keep cache keys' referents alive
+        # Generator cohorts: (func, n_args) -> [Cohort, ...]
+        self._cohorts: dict[tuple, list[Cohort]] = {}
+        self._record_failures: dict[tuple, int] = {}
+        # Counters (reported via summary()):
+        self.emc_codegen_threads = 0
+        self.emc_trace_threads = 0
+        self.emc_interp_threads = 0
+        self.gen_compiled_threads = 0
+        self.gen_interpreted_threads = 0
+        self.gen_validated_threads = 0
+        self.records = 0
+        self.record_failures = 0
+        self.bailouts = 0
+        self.compiled_effects = 0
+        self.guards_checked = 0
+        self.drained = False
+
+    # ------------------------------------------------------------------
+    # Entry point (called by EMX.create_thread)
+    # ------------------------------------------------------------------
+    def instantiate(self, func: Callable, ctx, args: tuple, cont):
+        """Build the generator for one new thread, compiled when possible."""
+        if cont is not None:
+            # Call-continuation threads are rare and reply-bearing;
+            # keep them on the interpreter.
+            self.gen_interpreted_threads += 1
+            return func(ctx, *args, cont)
+        emc = getattr(func, "__emc_thread__", None)
+        if emc is not None:
+            return self._emc_instantiate(func, emc, ctx, args)
+        return self._gen_instantiate(func, ctx, args)
+
+    # ------------------------------------------------------------------
+    # EM-C front-end: per-definition tiered compile
+    # ------------------------------------------------------------------
+    def _emc_instantiate(self, func, emc, ctx, args):
+        program, tdef = emc
+        key = (id(program), tdef.name)
+        entry = self._emc_cache.get(key)
+        if entry is None:
+            entry = self._emc_compile(program, tdef, ctx.pe)
+            self._emc_cache[key] = entry
+            self._emc_programs.append(program)
+        tier, obj = entry
+        if tier == "codegen":
+            self.emc_codegen_threads += 1
+            return obj(ctx, *args)
+        if tier == "trace":
+            self.emc_trace_threads += 1
+            return run_trace(obj, ctx, args)
+        self.emc_interp_threads += 1
+        return func(ctx, *args)
+
+    def _emc_compile(self, program, tdef, pe: int) -> tuple[str, Any]:
+        try:
+            fn = codegen_thread(program.ast, tdef, program.env, program.costs)
+            self._emit("emc_codegen", pe, tdef.name, len(tdef.params))
+            return ("codegen", fn)
+        except LoweringError:
+            pass
+        try:
+            prog = lower_thread(program.ast, tdef, program.env, program.costs)
+            self._emit("emc_trace", pe, tdef.name, len(prog.ops))
+            return ("trace", prog)
+        except LoweringError:
+            self._emit("emc_interp", pe, tdef.name, 0)
+            return ("interp", None)
+
+    # ------------------------------------------------------------------
+    # Generator front-end: record, match, replay
+    # ------------------------------------------------------------------
+    def _gen_instantiate(self, func, ctx, args):
+        key = (func, len(args))
+        if self._record_failures.get(key, 0) >= _MAX_RECORD_FAILURES:
+            self.gen_interpreted_threads += 1
+            return func(ctx, *args)
+        cohorts = self._cohorts.setdefault(key, [])
+        for cohort in cohorts:
+            trace = cohort.trace
+            self.guards_checked += len(trace.static_guards)
+            if trace.admits(ctx.pe, ctx.n_pes, args):
+                return self._join(cohort, ctx, args)
+        try:
+            trace = record_thread(func, ctx.pe, ctx.n_pes, args)
+        except RecordingUnsupported as exc:
+            n = self._record_failures.get(key, 0) + 1
+            self._record_failures[key] = n
+            self.record_failures += 1
+            self.gen_interpreted_threads += 1
+            self._emit("record_bail", ctx.pe, getattr(func, "__name__", "?"), n)
+            return func(ctx, *args)
+        cohort = Cohort(trace, func)
+        cohorts.append(cohort)
+        self.records += 1
+        self._emit("record", ctx.pe, trace.func_name, trace.n_effects)
+        return self._join(cohort, ctx, args)
+
+    def _join(self, cohort: Cohort, ctx, args):
+        index = cohort.members
+        cohort.members += 1
+        self.gen_compiled_threads += 1
+        if index > 0 and index % VALIDATE_STRIDE == 1:
+            cohort.validated += 1
+            self.gen_validated_threads += 1
+            return self._replay_validated(cohort, ctx, args)
+        return self._replay(cohort, ctx, args)
+
+    def _replay(self, cohort: Cohort, ctx, args):
+        """Fast member stepper: flat operand table, one yield per effect."""
+        pe, n_pes, ga = ctx.pe, ctx.n_pes, ctx.ga
+        plan = cohort.plan
+
+        def stepper():
+            resumes: list = [None] * cohort.trace.n_resumes
+            # Operand table: effects free of resume references are
+            # materialized once up front (ctx.ga re-runs the PE bounds
+            # check per member); resume-forwarding slots stay lazy.
+            table = [
+                getattr(ctx, method)(
+                    *(eval_expr(e, pe, n_pes, args, resumes, ga) for e in exprs)
+                )
+                if not lazy
+                else None
+                for method, exprs, lazy, _r in plan
+            ]
+            n = 0
+            for i, (method, exprs, lazy, ridx) in enumerate(plan):
+                eff = table[i]
+                if lazy:
+                    eff = getattr(ctx, method)(
+                        *(eval_expr(e, pe, n_pes, args, resumes, ga) for e in exprs)
+                    )
+                value = yield eff
+                n += 1
+                if ridx >= 0:
+                    resumes[ridx] = value
+            self.compiled_effects += n
+
+        return stepper()
+
+    def _replay_validated(self, cohort: Cohort, ctx, args):
+        """Lockstep member: replay while mirroring a real generator.
+
+        The interpreted twin is advanced effect-by-effect alongside the
+        trace; any mismatch is the first divergence, and the twin — by
+        construction suspended exactly where the thread diverged —
+        simply takes over.  That *is* the per-thread bailout.
+        """
+        pe, n_pes, ga = ctx.pe, ctx.n_pes, ctx.ga
+        plan = cohort.plan
+        manager = self
+
+        def stepper():
+            real = cohort.func(ctx, *args)
+            resumes: list = [None] * cohort.trace.n_resumes
+            send = None
+            n = 0
+            for method, exprs, _lazy, ridx in plan:
+                try:
+                    real_eff = real.send(send)
+                except StopIteration:
+                    manager._bailout(cohort, ctx.pe, n, "trace outlives thread", None)
+                    return
+                eff = getattr(ctx, method)(
+                    *(eval_expr(e, pe, n_pes, args, resumes, ga) for e in exprs)
+                )
+                if type(real_eff) is not type(eff) or real_eff != eff:
+                    manager._bailout(cohort, ctx.pe, n, eff, real_eff)
+                    send = yield real_eff
+                    while True:
+                        try:
+                            real_eff = real.send(send)
+                        except StopIteration:
+                            return
+                        send = yield real_eff
+                value = yield eff
+                n += 1
+                send = value
+                if ridx >= 0:
+                    resumes[ridx] = value
+            manager.compiled_effects += n
+            try:
+                real_eff = real.send(send)
+            except StopIteration:
+                return
+            manager._bailout(cohort, ctx.pe, n, None, real_eff)
+            while True:
+                send = yield real_eff
+                try:
+                    real_eff = real.send(send)
+                except StopIteration:
+                    return
+
+        return stepper()
+
+    def _bailout(self, cohort: Cohort, pe: int, position: int, compiled, interpreted):
+        cohort.bailouts += 1
+        self.bailouts += 1
+        self._emit("bailout", pe, cohort.trace.func_name, position)
+        if self.strict:
+            raise CompileDivergence(
+                f"cohort {cohort.trace.func_name!r} diverged at effect "
+                f"{position}: compiled path produced {compiled!r}, "
+                f"interpreter produced {interpreted!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, pe: int, name: str, n: int) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.emit(CohortEvent(self._machine.engine.now, pe, kind, name, n))
+
+    def on_drain(self) -> None:
+        """Engine finish hook: mark the run complete for the summary."""
+        self.drained = True
+
+    def summary(self) -> dict:
+        """The ``MachineReport.cohort`` section (diagnostic only)."""
+        compiled = (
+            self.emc_codegen_threads
+            + self.emc_trace_threads
+            + self.gen_compiled_threads
+        )
+        total = compiled + self.emc_interp_threads + self.gen_interpreted_threads
+        cohorts = [c for cs in self._cohorts.values() for c in cs]
+        return {
+            "emc_codegen_threads": self.emc_codegen_threads,
+            "emc_trace_threads": self.emc_trace_threads,
+            "emc_interp_threads": self.emc_interp_threads,
+            "gen_compiled_threads": self.gen_compiled_threads,
+            "gen_interpreted_threads": self.gen_interpreted_threads,
+            "gen_validated_threads": self.gen_validated_threads,
+            "cohorts": len(cohorts),
+            "max_cohort_members": max((c.members for c in cohorts), default=0),
+            "records": self.records,
+            "record_failures": self.record_failures,
+            "bailouts": self.bailouts,
+            "compiled_effects": self.compiled_effects,
+            "guards_checked": self.guards_checked,
+            "occupancy": (compiled / total) if total else 0.0,
+        }

@@ -1,0 +1,638 @@
+"""EM-C AST → trace-IR lowering (the compile subsystem's EMC front-end).
+
+Lowers one :class:`~repro.emc.ast.ThreadDef` into a
+:class:`~repro.compile.trace.TraceProgram`.  The contract is *exact*
+charge equivalence with :class:`repro.emc.interp._Interp`: every cost
+the interpreter would add to its ``pending`` accumulator is emitted as
+a ``CHARGE``, and because pending only becomes observable when flushed
+as one summed ``Compute`` at an effect boundary, consecutive constant
+charges within a straight-line region are merged statically — the sum
+at every flush point is unchanged, but the VM executes one opcode where
+the tree walker executed a dozen.
+
+Anything the lowering cannot prove it translates faithfully — a
+variable only conditionally declared, a use that the interpreter would
+resolve dynamically, a builtin whose arity is already wrong in the
+source — raises :class:`LoweringError`, and the caller falls back to
+the interpreter for that thread shape.  Runtime errors the interpreter
+*would* raise (undefined variable, bad spawn target) are therefore
+reproduced by construction: either the lowering proves they cannot
+happen, or the thread never compiles.
+"""
+
+from __future__ import annotations
+
+from ..emc import ast
+from ..emc.costs import EmcCosts
+from ..errors import ReproError
+from . import trace as T
+
+__all__ = ["LoweringError", "lower_thread"]
+
+
+class LoweringError(ReproError):
+    """This thread shape cannot be compiled; run it interpreted."""
+
+
+class _Label:
+    """A forward-reference jump target, resolved at finalization."""
+
+    __slots__ = ("pos",)
+
+    def __init__(self) -> None:
+        self.pos: int | None = None
+
+
+#: Marker appended to a JF / MEM_STORE op whose value operand is a
+#: fresh single-consumer temp — the peephole may fuse the producer in.
+#: Stripped during final resolution.
+_FUSE = object()
+
+
+class _ConstReg:
+    """Placeholder for a constant-pool register.
+
+    Constants live in their own register space *above* every temp and
+    variable — temps are reclaimed per statement, and a reclaimed slot
+    written at runtime must never alias a register that ``reg_init``
+    preloaded once at thread start.  Final numbering happens when the
+    temp high-water mark is known.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+
+#: Opcodes for EM-C binary operators (short-circuit && / || excluded).
+_BINOPS = {
+    "+": T.ADD, "-": T.SUB, "*": T.MUL, "==": T.EQ, "!=": T.NE,
+    "<": T.LT, "<=": T.LE, ">": T.GT, ">=": T.GE, "/": T.DIV, "%": T.MOD,
+}
+
+#: Builtins lowered to a single effect opcode: name -> (arity, opcode).
+_EFFECTS = {
+    "rread": (2, T.EFF_READ),
+    "rread2": (3, T.EFF_READ2),
+    "rblock": (3, T.EFF_RBLOCK),
+    "rwrite": (3, T.EFF_WRITE),
+    "barrier_wait": (1, T.EFF_BARRIER),
+    "token_wait": (2, T.EFF_TOKENW),
+    "token_advance": (1, T.EFF_TOKENA),
+    "switch_now": (0, T.EFF_SWITCH),
+}
+
+
+class _Lowerer:
+    def __init__(self, program: ast.Program, tdef: ast.ThreadDef, env: dict, costs: EmcCosts) -> None:
+        self.program = program
+        self.tdef = tdef
+        self.env = env
+        self.costs = costs
+        self.ops: list[tuple] = []
+        self.labels: list[_Label] = []
+        #: name -> register for params and locals (EM-C scope is flat).
+        self.vars: dict[str, int] = {name: i for i, name in enumerate(tdef.params)}
+        self.next_reg = len(tdef.params)
+        self.max_reg = len(tdef.params)
+        self.tmp_base = 0  # start of the temp window for the current stmt
+        self.consts: dict[tuple, _ConstReg] = {}
+        self.const_values: list[object] = []
+        #: names with a VarDecl anywhere (use before definite decl is
+        #: ambiguous: the interpreter would resolve scope-then-env).
+        self.declared_somewhere = _collect_decls(tdef.body)
+        self.loop_stack: list[tuple[_Label, _Label]] = []  # (break, continue)
+        self.epilogue = self.new_label()
+
+    # -- infrastructure ------------------------------------------------
+    def new_label(self) -> _Label:
+        label = _Label()
+        self.labels.append(label)
+        return label
+
+    def bind(self, label: _Label) -> None:
+        label.pos = len(self.ops)
+
+    def emit(self, *op) -> None:
+        self.ops.append(tuple(op))
+
+    def emit_jf(self, cond, target: _Label, tmp_mark: int) -> None:
+        """Branch-if-false; flagged fusable when ``cond`` is a temp the
+        condition expression just produced (its only consumer is this
+        jump — variables and constants never qualify)."""
+        if type(cond) is int and cond >= tmp_mark:
+            self.emit(T.JF, cond, target, _FUSE)
+        else:
+            self.emit(T.JF, cond, target)
+
+    def new_var(self, name: str) -> int:
+        if name not in self.vars:
+            self.vars[name] = self.next_reg
+            self.next_reg += 1
+        return self.vars[name]
+
+    def new_tmp(self) -> int:
+        reg = self.next_reg
+        self.next_reg += 1
+        if self.next_reg > self.max_reg:
+            self.max_reg = self.next_reg
+        return reg
+
+    def const(self, value) -> _ConstReg:
+        try:
+            key = (type(value).__name__, value)
+            hash(value)
+        except TypeError:
+            key = ("id", id(value))
+        reg = self.consts.get(key)
+        if reg is None:
+            reg = _ConstReg(len(self.const_values))
+            self.consts[key] = reg
+            self.const_values.append(value)
+        return reg
+
+    def bail(self, node, reason: str) -> LoweringError:
+        line = getattr(node, "line", 0)
+        return LoweringError(
+            f"thread {self.tdef.name!r} line {line}: {reason} (interpreter fallback)"
+        )
+
+    # -- declaredness --------------------------------------------------
+    def resolve(self, ref: ast.VarRef, declared: set[str]) -> int:
+        """Register (or const register) for a variable reference."""
+        name = ref.name
+        if name in declared:
+            return self.vars[name]
+        if name in self.declared_somewhere:
+            raise self.bail(ref, f"use of {name!r} not dominated by its declaration")
+        if name in self.env:
+            return self.const(self.env[name])
+        raise self.bail(ref, f"undefined variable {name!r}")
+
+    # -- expressions ---------------------------------------------------
+    def lower_expr(self, expr: ast.Expr, declared: set[str], want: int | None = None) -> int:
+        """Emit ops computing ``expr``; returns the result register.
+
+        With ``want`` set, the result lands in that register (the store
+        happens in the final emitted op, so ``want`` may be read by the
+        expression itself — ``i = i + 1`` compiles to one ADD).
+        """
+        kind = type(expr)
+        if kind is ast.Literal:
+            reg = self.const(expr.value)
+            if want is None:
+                return reg
+            self.emit(T.MOVE, want, reg)
+            return want
+        if kind is ast.VarRef:
+            reg = self.resolve(expr, declared)
+            if want is None or want == reg:
+                return reg
+            self.emit(T.MOVE, want, reg)
+            return want
+        if kind is ast.MemLoad:
+            idx = self.lower_expr(expr.index, declared)
+            self.emit(T.CHARGE, self.costs.mem_index + self.costs.mem_access)
+            dst = want if want is not None else self.new_tmp()
+            self.emit(T.MEM_LOAD, dst, idx, expr.line)
+            return dst
+        if kind is ast.UnaryOp:
+            src = self.lower_expr(expr.operand, declared)
+            self.emit(T.CHARGE, self.costs.unary_op)
+            dst = want if want is not None else self.new_tmp()
+            self.emit(T.NEG if expr.op == "-" else T.NOTB, dst, src)
+            return dst
+        if kind is ast.BinOp:
+            return self.lower_binop(expr, declared, want)
+        if kind is ast.Call:
+            return self.lower_call(expr, declared, want)
+        raise self.bail(expr, f"unknown expression {expr!r}")
+
+    def lower_binop(self, expr: ast.BinOp, declared: set[str], want: int | None) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            # Same shape as the interpreter: left, charge alu_op, then
+            # the right side only on the fall-through path.  The result
+            # is always normalised to 1/0.
+            tmp_mark = self.next_reg
+            left = self.lower_expr(expr.left, declared)
+            self.emit(T.CHARGE, self.costs.alu_op)
+            dst = want if want is not None else self.new_tmp()
+            short = self.new_label()
+            end = self.new_label()
+            if op == "&&":
+                self.emit_jf(left, short, tmp_mark)
+            else:
+                self.emit(T.JT, left, short)
+            right = self.lower_expr(expr.right, declared)
+            self.emit(T.BOOL, dst, right)
+            self.emit(T.JUMP, end)
+            self.bind(short)
+            self.emit(T.MOVE, dst, self.const(0 if op == "&&" else 1))
+            self.bind(end)
+            return dst
+        code = _BINOPS.get(op)
+        if code is None:
+            raise self.bail(expr, f"unknown operator {op!r}")
+        left = self.lower_expr(expr.left, declared)
+        right = self.lower_expr(expr.right, declared)
+        self.emit(T.CHARGE, self.costs.binop(op))
+        dst = want if want is not None else self.new_tmp()
+        if code in (T.DIV, T.MOD):
+            self.emit(code, dst, left, right, expr.line)
+        else:
+            self.emit(code, dst, left, right)
+        return dst
+
+    def lower_call(self, expr: ast.Call, declared: set[str], want: int | None) -> int:
+        name = expr.name
+        args = [self.lower_expr(a, declared) for a in expr.args]
+
+        def need(n: int) -> None:
+            # Arity is static in the source; a mismatch is a *runtime*
+            # error in the interpreter, so reproduce it by falling back.
+            if len(args) != n:
+                raise self.bail(expr, f"{name}() takes {n} arguments, got {len(args)}")
+
+        self.emit(T.CHARGE, self.costs.call_overhead)
+        dst = want if want is not None else self.new_tmp()
+
+        spec = _EFFECTS.get(name)
+        if spec is not None:
+            need(spec[0])
+            self.emit(spec[1], dst, *args)
+            return dst
+        if name == "spawn":
+            if len(args) < 2:
+                raise self.bail(expr, "spawn() needs (pe, name, args...)")
+            target = expr.args[1]
+            if type(target) is ast.Literal and target.value not in self.program.threads:
+                raise self.bail(expr, f"spawn of unknown thread {target.value!r}")
+            self.emit(T.EFF_SPAWN, dst, expr.line, args[0], args[1], tuple(args[2:]))
+            return dst
+        if name == "token_reset":
+            need(1)
+            self.emit(T.TOKEN_RESET, dst, args[0])
+            return dst
+        if name == "compute":
+            need(1)
+            arg = expr.args[0]
+            if type(arg) is ast.Literal and isinstance(arg.value, (int, float)):
+                self.emit(T.CHARGE, int(arg.value))
+            else:
+                self.emit(T.CHARGE_REG, args[0])
+            self.emit(T.MOVE, dst, self.const(0))
+            return dst
+        if name == "at":
+            need(2)
+            self.emit(T.CHARGE, self.costs.mem_index)
+            self.emit(T.AT, dst, args[0], args[1], expr.line)
+            return dst
+        if name == "len":
+            need(1)
+            self.emit(T.LEN, dst, args[0], expr.line)
+            return dst
+        if name == "pe":
+            need(0)
+            self.emit(T.MOVE, dst, self.pe_reg)
+            return dst
+        if name == "npes":
+            need(0)
+            self.emit(T.MOVE, dst, self.npes_reg)
+            return dst
+        if name == "print":
+            self.emit(T.PRINT, dst, tuple(args))
+            return dst
+        raise self.bail(expr, f"unknown builtin {name!r}")
+
+    # -- statements ----------------------------------------------------
+    def lower_stmt(self, stmt: ast.Stmt, declared: set[str]) -> None:
+        saved_tmp = self.next_reg
+        self._lower_stmt(stmt, declared)
+        # Temp registers are dead at statement end; reclaim the window
+        # (variables declared inside the statement pin it, constants
+        # live in their own space above the temp high-water mark).
+        if all(v < saved_tmp for v in self.vars.values()):
+            self.next_reg = saved_tmp
+
+    def _lower_stmt(self, stmt: ast.Stmt, declared: set[str]) -> None:
+        kind = type(stmt)
+        if kind is ast.VarDecl or kind is ast.Assign:
+            if kind is ast.Assign and stmt.name not in declared:
+                raise self.bail(stmt, f"assignment to possibly-undeclared {stmt.name!r}")
+            if kind is ast.VarDecl:
+                # The value may still reference an *env* binding of the
+                # same name (scope-then-env resolution), so the value is
+                # lowered before the name becomes a local.
+                value = self.lower_expr(stmt.value, declared)
+                self.emit(T.CHARGE, self.costs.assign)
+                reg = self.new_var(stmt.name)
+                declared.add(stmt.name)
+                if reg != value:
+                    self.emit(T.MOVE, reg, value)
+            else:
+                self.lower_expr(stmt.value, declared, want=self.vars[stmt.name])
+                self.emit(T.CHARGE, self.costs.assign)
+        elif kind is ast.MemStore:
+            idx = self.lower_expr(stmt.index, declared)
+            tmp_mark = self.next_reg
+            val = self.lower_expr(stmt.value, declared)
+            self.emit(T.CHARGE, self.costs.mem_index + self.costs.mem_access)
+            if type(val) is int and val >= tmp_mark:
+                self.emit(T.MEM_STORE, idx, val, stmt.line, _FUSE)
+            else:
+                self.emit(T.MEM_STORE, idx, val, stmt.line)
+        elif kind is ast.ExprStmt:
+            self.lower_expr(stmt.expr, declared)
+        elif kind is ast.Block:
+            self.lower_block(stmt, declared)
+        elif kind is ast.If:
+            tmp_mark = self.next_reg
+            cond = self.lower_expr(stmt.condition, declared)
+            self.emit(T.CHARGE, self.costs.branch)
+            otherwise = self.new_label()
+            self.emit_jf(cond, otherwise, tmp_mark)
+            then_declared = set(declared)
+            self.lower_block(stmt.then_block, then_declared)
+            if stmt.else_block is not None:
+                end = self.new_label()
+                self.emit(T.JUMP, end)
+                self.bind(otherwise)
+                else_declared = set(declared)
+                self.lower_block(stmt.else_block, else_declared)
+                self.bind(end)
+                declared |= then_declared & else_declared
+            else:
+                self.bind(otherwise)
+        elif kind is ast.While:
+            cond_label = self.new_label()
+            back = self.new_label()
+            end = self.new_label()
+            self.bind(cond_label)
+            tmp_mark = self.next_reg
+            cond = self.lower_expr(stmt.condition, declared)
+            self.emit(T.CHARGE, self.costs.branch)
+            self.emit_jf(cond, end, tmp_mark)
+            self.loop_stack.append((end, back))
+            self.lower_block(stmt.body, set(declared))
+            self.loop_stack.pop()
+            self.bind(back)
+            self.emit(T.CHARGE, self.costs.loop_back)
+            self.emit(T.JUMP, cond_label)
+            self.bind(end)
+        elif kind is ast.For:
+            if stmt.init is not None:
+                self._lower_stmt(stmt.init, declared)
+            cond_label = self.new_label()
+            cont = self.new_label()
+            end = self.new_label()
+            self.bind(cond_label)
+            if stmt.condition is not None:
+                tmp_mark = self.next_reg
+                cond = self.lower_expr(stmt.condition, declared)
+                self.emit(T.CHARGE, self.costs.branch)
+                self.emit_jf(cond, end, tmp_mark)
+            self.loop_stack.append((end, cont))
+            self.lower_block(stmt.body, set(declared))
+            self.loop_stack.pop()
+            self.bind(cont)
+            if stmt.step is not None:
+                self._lower_stmt(stmt.step, set(declared))
+            self.emit(T.CHARGE, self.costs.loop_back)
+            self.emit(T.JUMP, cond_label)
+            self.bind(end)
+        elif kind is ast.Break:
+            if not self.loop_stack:
+                raise self.bail(stmt, "break outside a loop")
+            self.emit(T.JUMP, self.loop_stack[-1][0])
+        elif kind is ast.Continue:
+            if not self.loop_stack:
+                raise self.bail(stmt, "continue outside a loop")
+            self.emit(T.JUMP, self.loop_stack[-1][1])
+        elif kind is ast.Return:
+            if stmt.value is not None:
+                self.lower_expr(stmt.value, declared)
+            self.emit(T.JUMP, self.epilogue)
+        else:
+            raise self.bail(stmt, f"unknown statement {stmt!r}")
+
+    def lower_block(self, block: ast.Block, declared: set[str]) -> None:
+        for stmt in block.statements:
+            self.lower_stmt(stmt, declared)
+
+    # -- finalization --------------------------------------------------
+    def finalize(self) -> T.TraceProgram:
+        self.bind(self.epilogue)
+        self.emit(T.RET)
+        ops = _merge_charges(self.ops, self.labels)
+        ops = _peephole(ops, self.labels)
+        const_base = self.max_reg
+        resolved = _resolve(ops, const_base)
+        return T.TraceProgram(
+            name=self.tdef.name,
+            ops=tuple(resolved),
+            n_regs=const_base + len(self.const_values),
+            n_params=len(self.tdef.params),
+            reg_init=tuple(
+                (const_base + k, v) for k, v in enumerate(self.const_values)
+            ),
+            pe_reg=self.pe_reg,
+            npes_reg=self.npes_reg,
+            spawn_names=frozenset(self.program.threads),
+        )
+
+
+def _collect_decls(node) -> set[str]:
+    names: set[str] = set()
+
+    def walk(stmt) -> None:
+        kind = type(stmt)
+        if kind is ast.VarDecl:
+            names.add(stmt.name)
+        elif kind is ast.Block:
+            for s in stmt.statements:
+                walk(s)
+        elif kind is ast.If:
+            walk(stmt.then_block)
+            if stmt.else_block is not None:
+                walk(stmt.else_block)
+        elif kind is ast.While:
+            walk(stmt.body)
+        elif kind is ast.For:
+            if stmt.init is not None:
+                walk(stmt.init)
+            if stmt.step is not None:
+                walk(stmt.step)
+            walk(stmt.body)
+
+    walk(node)
+    return names
+
+
+#: Opcodes that end a straight-line region: control transfers and the
+#: flush points themselves.  Constant charges never move across these
+#: (a charge's *sum at the next flush* is the only observable).
+_FENCES = frozenset(
+    (T.JUMP, T.JF, T.JT, T.RET, T.EFF_READ, T.EFF_READ2, T.EFF_RBLOCK,
+     T.EFF_WRITE, T.EFF_SPAWN, T.EFF_BARRIER, T.EFF_TOKENW, T.EFF_TOKENA,
+     T.EFF_SWITCH)
+)
+
+
+def _merge_charges(ops: list[tuple], labels: list[_Label]) -> list[tuple]:
+    """Fuse constant CHARGEs within each straight-line region.
+
+    A region is bounded by jump/effect opcodes and by any position a
+    label binds to (a join point may be entered without executing the
+    charges above it).  Within a region the interpreter's ``pending``
+    accumulation is order-insensitive, so the summed charge is emitted
+    at the region's end.  Every label's position (referenced by a jump
+    or merely bound) is rewritten as ops are dropped.
+    """
+    label_positions = {lab.pos for lab in labels}
+    out: list[tuple] = []
+    # Map original op index -> new index, for label rewriting.
+    remap: dict[int, int] = {}
+    acc = 0
+
+    def flush_acc() -> None:
+        nonlocal acc
+        if acc:
+            out.append((T.CHARGE, acc))
+            acc = 0
+
+    for i, op in enumerate(ops):
+        if i in label_positions:
+            flush_acc()
+        remap[i] = len(out)
+        if op[0] == T.CHARGE:
+            acc += op[1]
+            continue
+        if op[0] in _FENCES:
+            flush_acc()
+            # Recompute: the fence itself lands after the flushed charge.
+            remap[i] = len(out)
+        out.append(op)
+    flush_acc()
+    remap[len(ops)] = len(out)
+    return _rewrite_labels(out, labels, remap)
+
+
+def _rewrite_labels(
+    ops: list[tuple], labels: list[_Label], remap: dict[int, int]
+) -> list[tuple]:
+    for label in labels:
+        label.pos = remap[label.pos]
+    return ops
+
+
+#: Fusable comparisons.  DIV/MOD carry line operands and different
+#: raise behaviour, so they never fuse.
+_FUSABLE_CMPS = frozenset((T.LT, T.LE, T.GT, T.GE, T.EQ, T.NE))
+
+
+def _peephole(ops: list[tuple], labels: list[_Label]) -> list[tuple]:
+    """Fuse hot adjacent sequences into single VM dispatches.
+
+    Patterns (each only when no label binds *inside* the sequence, so a
+    jump can never land mid-fusion; a label at the sequence start is
+    fine — the fused op starts there):
+
+    - ``cmp t; CHARGE; JF* t``      → ``CMPJF``
+    - ``CHARGE; JF``                → ``CJF``
+    - ``CHARGE; JUMP``              → ``CJUMP``
+    - ``MEM_LOAD t; MEM_STORE* _,t``→ ``MEMCPY``
+
+    The starred consumers only fuse when the lowering flagged them with
+    ``_FUSE`` — the flag certifies the consumed register is a fresh
+    temp whose *only* reader is that op, so dropping the intermediate
+    write is sound (a global read count can't prove this: reclaimed
+    temp registers are reused all over the program).  Loop conditions
+    and back-edges hit the first three patterns every iteration; the
+    fourth is the bitonic merge's element copy.
+    """
+    label_positions = {lab.pos for lab in labels}
+    out: list[tuple] = []
+    remap: dict[int, int] = {}
+    i = 0
+    n = len(ops)
+    while i < n:
+        op = ops[i]
+        o = op[0]
+        remap[i] = len(out)
+        nxt = ops[i + 1] if i + 1 < n and i + 1 not in label_positions else None
+        if (
+            o in _FUSABLE_CMPS
+            and nxt is not None
+            and nxt[0] == T.CHARGE
+            and i + 2 < n
+            and i + 2 not in label_positions
+            and ops[i + 2][0] == T.JF
+            and ops[i + 2][-1] is _FUSE
+            and ops[i + 2][1] == op[1]
+        ):
+            remap[i + 1] = remap[i + 2] = len(out)
+            out.append((T.CMPJF, o, op[2], op[3], nxt[1], ops[i + 2][2]))
+            i += 3
+            continue
+        if o == T.CHARGE and nxt is not None:
+            if nxt[0] == T.JF:
+                remap[i + 1] = len(out)
+                out.append((T.CJF, op[1], nxt[1], nxt[2]))
+                i += 2
+                continue
+            if nxt[0] == T.JUMP:
+                remap[i + 1] = len(out)
+                out.append((T.CJUMP, op[1], nxt[1]))
+                i += 2
+                continue
+        if (
+            o == T.MEM_LOAD
+            and nxt is not None
+            and nxt[0] == T.MEM_STORE
+            and nxt[-1] is _FUSE
+            and nxt[2] == op[1]
+        ):
+            remap[i + 1] = len(out)
+            out.append((T.MEMCPY, nxt[1], op[2], op[3], nxt[3]))
+            i += 2
+            continue
+        out.append(op)
+        i += 1
+    remap[n] = len(out)
+    return _rewrite_labels(out, labels, remap)
+
+
+def _resolve(ops: list[tuple], const_base: int) -> list[tuple]:
+    """Resolve labels to op indices and const placeholders to registers.
+
+    Spawn/print operands nest register lists one tuple deep, so the
+    walk recurses into tuples.
+    """
+
+    def field(f):
+        if isinstance(f, _Label):
+            return f.pos
+        if isinstance(f, _ConstReg):
+            return const_base + f.index
+        if isinstance(f, tuple):
+            return tuple(field(x) for x in f)
+        return f
+
+    return [
+        tuple(field(f) for f in op if f is not _FUSE) for op in ops
+    ]
+
+
+def lower_thread(
+    program: ast.Program, tdef: ast.ThreadDef, env: dict, costs: EmcCosts
+) -> T.TraceProgram:
+    """Lower one thread definition; raises :class:`LoweringError` when
+    the shape cannot be compiled faithfully."""
+    lowerer = _Lowerer(program, tdef, env, costs)
+    lowerer.pe_reg = lowerer.new_tmp()
+    lowerer.npes_reg = lowerer.new_tmp()
+    declared = set(tdef.params)
+    lowerer.lower_block(tdef.body, declared)
+    return lowerer.finalize()

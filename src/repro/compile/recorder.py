@@ -1,0 +1,645 @@
+"""Symbolic trace recorder for ``repro.core.threadlib`` generator threads.
+
+The generator front-end of the cohort compiler.  :func:`record_thread`
+runs one *representative* thread body inside a recording sandbox: the
+``ThreadCtx`` it receives mimics the real context, but every value a
+member could legitimately differ in — the PE number, ``n_pes``, the
+invocation arguments, and every split-phase resume value — is replaced
+by a tracked placeholder.  The run produces a flat, parameterized
+effect trace: a list of effect opcodes whose operand slots are small
+expression trees over ``('pe',)``/``('arg', i)``/``('resume', k)``
+leaves rather than concrete values.
+
+The sandbox is deliberately conservative.  A thread qualifies only when
+its *control flow and effect operands* are functions of those tracked
+leaves alone:
+
+* ``ctx.mem``, ``ctx.state`` and ``ctx.tid`` access aborts recording —
+  a thread reading shared per-PE state is not pure in its arguments, so
+  a recorded trace could silently go stale.
+* Resume values are fully opaque: they may be passed through into later
+  effect operands (the classic read→write forwarding loop), but any
+  *computation* on one (arithmetic, comparison, branching, unpacking)
+  aborts recording.  Threads whose control flow depends on remote data
+  (e.g. the bitonic merge) are exactly the ones a shape-keyed cohort
+  cannot represent; they stay on the interpreter, per thread.
+* Branches on argument-derived values record :data:`GUARD` entries with
+  the branch outcome the representative took.  A candidate member joins
+  the cohort only if every argument-only guard evaluates identically
+  for *its* bindings; guards that involve resume values are re-checked
+  live during replay and trigger the per-thread bailout protocol (see
+  :mod:`repro.compile.cohort`).
+
+Aborting is signalled with :class:`RecordingUnsupported`, which the
+cohort manager converts into a silent per-thread fall back to the
+ordinary interpreted generator — recording never changes observable
+behaviour, it only ever declines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import ProgramError
+
+__all__ = [
+    "RecordingUnsupported",
+    "RecordedTrace",
+    "record_thread",
+    "eval_expr",
+]
+
+#: Hard cap on recorded trace length; longer shapes (unbounded loops
+#: over huge n) would make admission-time guard checks themselves a
+#: cost centre, defeating the amortization the cohort exists for.
+MAX_TRACE_OPS = 4096
+
+_GUARD = "guard"
+_EFF = "eff"
+
+
+class RecordingUnsupported(Exception):
+    """The thread's shape cannot be recorded; fall back to the interpreter."""
+
+
+# ----------------------------------------------------------------------
+# Expression trees
+#
+# ('const', v) | ('arg', i) | ('pe',) | ('npes',) | ('resume', k)
+# ('bin', op, a, b) | ('neg', a) | ('cmp', op, a, b) | ('truth', a)
+# ('ga', e_pe, e_off) | ('seq', (e, ...))
+# ----------------------------------------------------------------------
+
+def eval_expr(expr: tuple, pe: int, n_pes: int, args: tuple, resumes, ga):
+    """Evaluate an operand expression under one member's bindings.
+
+    ``resumes`` is the member's received-resume list (indexable by the
+    ``('resume', k)`` leaf); ``ga`` is the member context's address
+    constructor so per-member PE bounds checks raise exactly the
+    interpreter's :class:`~repro.errors.ProgramError`.
+    """
+    tag = expr[0]
+    if tag == "const":
+        return expr[1]
+    if tag == "arg":
+        return args[expr[1]]
+    if tag == "pe":
+        return pe
+    if tag == "npes":
+        return n_pes
+    if tag == "resume":
+        return resumes[expr[1]]
+    if tag == "bin":
+        a = eval_expr(expr[2], pe, n_pes, args, resumes, ga)
+        b = eval_expr(expr[3], pe, n_pes, args, resumes, ga)
+        return _BIN_FNS[expr[1]](a, b)
+    if tag == "neg":
+        return -eval_expr(expr[1], pe, n_pes, args, resumes, ga)
+    if tag == "cmp":
+        a = eval_expr(expr[2], pe, n_pes, args, resumes, ga)
+        b = eval_expr(expr[3], pe, n_pes, args, resumes, ga)
+        return _CMP_FNS[expr[1]](a, b)
+    if tag == "truth":
+        return bool(eval_expr(expr[1], pe, n_pes, args, resumes, ga))
+    if tag == "ga":
+        return ga(
+            eval_expr(expr[1], pe, n_pes, args, resumes, ga),
+            eval_expr(expr[2], pe, n_pes, args, resumes, ga),
+        )
+    if tag == "seq":
+        return [eval_expr(e, pe, n_pes, args, resumes, ga) for e in expr[1]]
+    if tag == "tup":
+        return tuple(eval_expr(e, pe, n_pes, args, resumes, ga) for e in expr[1])
+    raise AssertionError(f"unknown expr tag {tag!r}")
+
+
+_BIN_FNS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "floordiv": lambda a, b: a // b,
+    "mod": lambda a, b: a % b,
+    "lshift": lambda a, b: a << b,
+    "rshift": lambda a, b: a >> b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "pow": lambda a, b: a**b,
+    "min": min,
+    "max": max,
+}
+
+_CMP_FNS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def _has_resume(expr: tuple) -> bool:
+    tag = expr[0]
+    if tag == "resume":
+        return True
+    if tag in ("const", "arg", "pe", "npes"):
+        return False
+    if tag in ("neg", "truth"):
+        return _has_resume(expr[1])
+    if tag in ("bin", "cmp"):
+        return _has_resume(expr[2]) or _has_resume(expr[3])
+    if tag == "ga":
+        return _has_resume(expr[1]) or _has_resume(expr[2])
+    if tag in ("seq", "tup"):
+        return any(_has_resume(e) for e in expr[1])
+    raise AssertionError(f"unknown expr tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Tracked values
+# ----------------------------------------------------------------------
+
+
+def _to_expr(value: Any) -> tuple:
+    """Lift a guest value into an operand expression (or refuse)."""
+    if isinstance(value, _Sym):
+        return value._e
+    if isinstance(value, (bool, int, str, float)) or value is None:
+        return ("const", value)
+    if isinstance(value, tuple):
+        return ("tup", tuple(_to_expr(v) for v in value))
+    if isinstance(value, list):
+        return ("seq", tuple(_to_expr(v) for v in value))
+    raise RecordingUnsupported(f"cannot parameterize operand {type(value).__name__}")
+
+
+class _Sym:
+    """Base for tracked values: a concrete value plus its expression."""
+
+    __slots__ = ("_c", "_e", "_rec")
+
+    def __init__(self, concrete, expr, rec) -> None:
+        self._c = concrete
+        self._e = expr
+        self._rec = rec
+
+
+def _unsupported(op_name: str):
+    def method(self, *args, **kwargs):
+        raise RecordingUnsupported(
+            f"{op_name} on a tracked {type(self).__name__} value"
+        )
+
+    method.__name__ = op_name
+    return method
+
+
+class _SymInt(_Sym):
+    """A tracked integer: arithmetic builds expressions, branching guards."""
+
+    __slots__ = ()
+
+    def _lift(self, other):
+        if isinstance(other, _SymInt):
+            return other._c, other._e
+        if isinstance(other, bool) or not isinstance(other, int):
+            raise RecordingUnsupported(
+                f"mixed arithmetic with {type(other).__name__}"
+            )
+        return other, ("const", other)
+
+    def _bin(self, op, other, swap=False):
+        oc, oe = self._lift(other)
+        a, b = ((oc, self._c), (oe, self._e)) if swap else ((self._c, oc), (self._e, oe))
+        try:
+            concrete = _BIN_FNS[op](a[0], a[1])
+        except ZeroDivisionError:
+            # The representative itself divides by zero; let the real
+            # interpreter raise it with full guest context.
+            raise RecordingUnsupported("division by zero while recording") from None
+        return _SymInt(concrete, ("bin", op, b[0], b[1]), self._rec)
+
+    def __add__(self, other):
+        return self._bin("add", other)
+
+    def __radd__(self, other):
+        return self._bin("add", other, swap=True)
+
+    def __sub__(self, other):
+        return self._bin("sub", other)
+
+    def __rsub__(self, other):
+        return self._bin("sub", other, swap=True)
+
+    def __mul__(self, other):
+        return self._bin("mul", other)
+
+    def __rmul__(self, other):
+        return self._bin("mul", other, swap=True)
+
+    def __floordiv__(self, other):
+        return self._bin("floordiv", other)
+
+    def __rfloordiv__(self, other):
+        return self._bin("floordiv", other, swap=True)
+
+    def __mod__(self, other):
+        return self._bin("mod", other)
+
+    def __rmod__(self, other):
+        return self._bin("mod", other, swap=True)
+
+    def __lshift__(self, other):
+        return self._bin("lshift", other)
+
+    def __rlshift__(self, other):
+        return self._bin("lshift", other, swap=True)
+
+    def __rshift__(self, other):
+        return self._bin("rshift", other)
+
+    def __rrshift__(self, other):
+        return self._bin("rshift", other, swap=True)
+
+    def __and__(self, other):
+        return self._bin("and", other)
+
+    def __rand__(self, other):
+        return self._bin("and", other, swap=True)
+
+    def __or__(self, other):
+        return self._bin("or", other)
+
+    def __ror__(self, other):
+        return self._bin("or", other, swap=True)
+
+    def __xor__(self, other):
+        return self._bin("xor", other)
+
+    def __rxor__(self, other):
+        return self._bin("xor", other, swap=True)
+
+    def __pow__(self, other):
+        return self._bin("pow", other)
+
+    def __rpow__(self, other):
+        return self._bin("pow", other, swap=True)
+
+    def __neg__(self):
+        return _SymInt(-self._c, ("neg", self._e), self._rec)
+
+    def __pos__(self):
+        return self
+
+    def _cmp(self, op, other):
+        oc, oe = self._lift(other)
+        outcome = _CMP_FNS[op](self._c, oc)
+        self._rec.guard(("cmp", op, self._e, oe), outcome)
+        return outcome
+
+    def __lt__(self, other):
+        return self._cmp("lt", other)
+
+    def __le__(self, other):
+        return self._cmp("le", other)
+
+    def __gt__(self, other):
+        return self._cmp("gt", other)
+
+    def __ge__(self, other):
+        return self._cmp("ge", other)
+
+    def __eq__(self, other):
+        if isinstance(other, _SymInt) or isinstance(other, int):
+            return self._cmp("eq", other)
+        return NotImplemented
+
+    def __ne__(self, other):
+        if isinstance(other, _SymInt) or isinstance(other, int):
+            return self._cmp("ne", other)
+        return NotImplemented
+
+    def __bool__(self):
+        outcome = bool(self._c)
+        self._rec.guard(("truth", self._e), outcome)
+        return outcome
+
+    def __index__(self):
+        # range()/indexing forces a concrete int: pin the value with an
+        # equality guard so every cohort member must agree on it.
+        self._rec.guard(("cmp", "eq", self._e, ("const", self._c)), True)
+        return self._c
+
+    __hash__ = _unsupported("__hash__")
+    __str__ = _unsupported("__str__")
+    __format__ = _unsupported("__format__")
+    __truediv__ = _unsupported("__truediv__")
+    __rtruediv__ = _unsupported("__rtruediv__")
+    __divmod__ = _unsupported("__divmod__")
+    __rdivmod__ = _unsupported("__rdivmod__")
+    __abs__ = _unsupported("__abs__")
+    __invert__ = _unsupported("__invert__")
+    __iter__ = _unsupported("__iter__")
+    __getitem__ = _unsupported("__getitem__")
+
+
+class _Opaque(_Sym):
+    """A resume value: pass-through only, every operation aborts."""
+
+    __slots__ = ()
+
+
+for _name in (
+    "__add__", "__radd__", "__sub__", "__rsub__", "__mul__", "__rmul__",
+    "__floordiv__", "__rfloordiv__", "__truediv__", "__rtruediv__",
+    "__mod__", "__rmod__", "__lshift__", "__rlshift__", "__rshift__",
+    "__rrshift__", "__and__", "__rand__", "__or__", "__ror__",
+    "__xor__", "__rxor__", "__pow__", "__rpow__", "__neg__", "__pos__",
+    "__abs__", "__invert__", "__lt__", "__le__", "__gt__", "__ge__",
+    "__eq__", "__ne__", "__bool__", "__index__", "__hash__", "__str__",
+    "__format__", "__iter__", "__getitem__", "__len__", "__contains__",
+):
+    setattr(_Opaque, _name, _unsupported(_name))
+del _name
+
+
+class _SymObj(_Sym):
+    """A tracked non-int argument (token, barrier): opaque pass-through."""
+
+    __slots__ = ()
+
+
+for _name in (
+    "__lt__", "__le__", "__gt__", "__ge__", "__bool__", "__index__",
+    "__hash__", "__str__", "__format__", "__iter__", "__getitem__",
+    "__len__", "__contains__", "__call__",
+):
+    setattr(_SymObj, _name, _unsupported(_name))
+del _name
+
+
+class _SymGA(_Sym):
+    """A tracked global address built by ``ctx.ga``; pass-through only."""
+
+    __slots__ = ()
+
+
+for _name in (
+    "__add__", "__radd__", "__sub__", "__lt__", "__le__", "__gt__",
+    "__ge__", "__bool__", "__hash__", "__str__", "__format__",
+    "__iter__", "__getitem__",
+):
+    setattr(_SymGA, _name, _unsupported(_name))
+del _name
+
+
+# ----------------------------------------------------------------------
+# The recording context
+# ----------------------------------------------------------------------
+
+#: Effects whose yield suspends the thread and produces a resume value.
+_SUSPENDING = frozenset({"read", "read_pair", "read_block", "barrier_wait",
+                         "token_wait", "switch", "call"})
+
+
+class _RecCtx:
+    """A ``ThreadCtx`` stand-in that records instead of executing."""
+
+    __slots__ = ("_rec", "pe", "n_pes")
+
+    def __init__(self, rec: "_Recorder", pe, n_pes) -> None:
+        self._rec = rec
+        self.pe = pe
+        self.n_pes = n_pes
+
+    # -- blocked surfaces ------------------------------------------------
+    @property
+    def mem(self):
+        raise RecordingUnsupported("thread touches ctx.mem")
+
+    @property
+    def state(self):
+        raise RecordingUnsupported("thread touches ctx.state")
+
+    @property
+    def tid(self):
+        raise RecordingUnsupported("thread touches ctx.tid")
+
+    # -- addressing ------------------------------------------------------
+    def ga(self, pe, offset):
+        pe_e = _to_expr(pe)
+        off_e = _to_expr(offset)
+        if _has_resume(pe_e) or _has_resume(off_e):
+            # An address built from remote data is data-dependent
+            # communication; the per-member bounds check could diverge.
+            raise RecordingUnsupported("global address built from a resume value")
+        pe_c = pe._c if isinstance(pe, _Sym) else pe
+        if not isinstance(pe_c, int) or not (0 <= pe_c < self._rec.n_pes_c):
+            # The representative itself faults; let the interpreter
+            # raise the real ProgramError in guest context.
+            raise RecordingUnsupported("representative global address out of bounds")
+        return _SymGA(None, ("ga", pe_e, off_e), self._rec)
+
+    # -- effect constructors --------------------------------------------
+    def _eff(self, method: str, *operands):
+        return self._rec.effect(method, tuple(_to_expr(v) for v in operands))
+
+    def compute(self, cycles):
+        cyc = _to_expr(cycles)
+        cyc_c = cycles._c if isinstance(cycles, _Sym) else cycles
+        if not isinstance(cyc_c, int) or cyc_c < 0:
+            raise RecordingUnsupported("non-constant-sign compute charge")
+        return self._rec.effect("compute", (cyc,))
+
+    def read(self, addr):
+        return self._eff("read", addr)
+
+    def read_pair(self, addr_a, addr_b):
+        return self._eff("read_pair", addr_a, addr_b)
+
+    def read_block(self, addr, count):
+        return self._eff("read_block", addr, count)
+
+    def write(self, addr, value):
+        return self._eff("write", addr, value)
+
+    def write_block(self, addr, values):
+        return self._eff("write_block", addr, values)
+
+    def spawn(self, pe, func, *args):
+        if not isinstance(func, str):
+            raise RecordingUnsupported("spawn of a non-literal thread name")
+        return self._eff("spawn", pe, func, *args)
+
+    def call(self, pe, func, *args):
+        if not isinstance(func, str):
+            raise RecordingUnsupported("call of a non-literal thread name")
+        return self._eff("call", pe, func, *args)
+
+    def reply(self, continuation, value):
+        return self._eff("reply", continuation, value)
+
+    def barrier_wait(self, barrier):
+        return self._eff("barrier_wait", barrier)
+
+    def token_wait(self, token, seq):
+        return self._eff("token_wait", token, seq)
+
+    def token_advance(self, token):
+        return self._eff("token_advance", token)
+
+    def switch(self):
+        return self._eff("switch")
+
+
+class _Marker:
+    """Yielded by the sandbox ctx; the recorder checks provenance."""
+
+    __slots__ = ("index", "method")
+
+    def __init__(self, index: int, method: str) -> None:
+        self.index = index
+        self.method = method
+
+
+@dataclass(frozen=True)
+class RecordedTrace:
+    """A parameterized effect trace shared by one cohort.
+
+    ``ops`` is a flat list of ``('guard', expr, expected)`` and
+    ``('eff', method, operand_exprs, suspends, resume_index)`` entries.
+    ``static_guards`` indexes the guards free of resume leaves — the
+    ones admission can check up front; the rest are validated live
+    during replay.
+    """
+
+    func_name: str
+    n_args: int
+    ops: tuple
+    static_guards: tuple
+    n_resumes: int
+    n_effects: int
+
+    def admits(self, pe: int, n_pes: int, args: tuple) -> bool:
+        """Would this member take every recorded argument-only branch?"""
+        if len(args) != self.n_args:
+            return False
+        ops = self.ops
+        try:
+            for idx in self.static_guards:
+                _, expr, expected = ops[idx]
+                if eval_expr(expr, pe, n_pes, args, (), None) != expected:
+                    return False
+        except (TypeError, ValueError, ZeroDivisionError, IndexError):
+            return False
+        return True
+
+
+class _Recorder:
+    __slots__ = ("ops", "n_resumes", "n_effects", "n_pes_c", "_next_marker")
+
+    def __init__(self, n_pes_c: int) -> None:
+        self.ops: list = []
+        self.n_resumes = 0
+        self.n_effects = 0
+        self.n_pes_c = n_pes_c
+        self._next_marker: _Marker | None = None
+
+    def _grow(self) -> None:
+        if len(self.ops) >= MAX_TRACE_OPS:
+            raise RecordingUnsupported(f"trace longer than {MAX_TRACE_OPS} ops")
+
+    def guard(self, expr: tuple, outcome: bool) -> None:
+        self._grow()
+        self.ops.append((_GUARD, expr, outcome))
+
+    def effect(self, method: str, operands: tuple) -> _Marker:
+        self._grow()
+        suspends = method in _SUSPENDING
+        resume_index = self.n_resumes if suspends else -1
+        self.ops.append((_EFF, method, operands, suspends, resume_index))
+        self.n_effects += 1
+        if suspends:
+            self.n_resumes += 1
+        marker = _Marker(len(self.ops) - 1, method)
+        self._next_marker = marker
+        return marker
+
+
+def _close(gen) -> None:
+    try:
+        gen.close()
+    except Exception:
+        pass  # a finally block hitting the sandbox must not mask the bail
+
+
+def record_thread(func: Callable, pe: int, n_pes: int, args: tuple) -> RecordedTrace:
+    """Symbolically execute ``func`` once and return its effect trace.
+
+    ``pe``/``n_pes``/``args`` are the representative's concrete
+    bindings: recording follows the exact branches this member takes,
+    pinning each with a guard.  Raises :class:`RecordingUnsupported`
+    when the body does anything the sandbox cannot parameterize.
+    """
+    rec = _Recorder(n_pes)
+    ctx = _RecCtx(
+        rec,
+        _SymInt(pe, ("pe",), rec),
+        _SymInt(n_pes, ("npes",), rec),
+    )
+    sym_args = tuple(
+        _SymInt(a, ("arg", i), rec)
+        if isinstance(a, int) and not isinstance(a, bool)
+        else _SymObj(a, ("arg", i), rec)
+        for i, a in enumerate(args)
+    )
+    try:
+        gen = func(ctx, *sym_args)
+    except RecordingUnsupported:
+        raise
+    except Exception as exc:
+        raise RecordingUnsupported(f"thread body raised at setup: {exc!r}") from None
+    if not hasattr(gen, "send"):
+        raise RecordingUnsupported("thread function is not a generator")
+    send = None
+    try:
+        while True:
+            try:
+                yielded = gen.send(send)
+            except StopIteration:
+                break
+            marker = rec._next_marker
+            rec._next_marker = None
+            if yielded is not marker:
+                # The body yielded something it did not just build via
+                # this ctx (stored effect, foreign object): bail.
+                raise RecordingUnsupported("yield of a non-ctx-constructed effect")
+            op = rec.ops[marker.index]
+            if op[3]:  # suspends
+                send = _Opaque(None, ("resume", op[4]), rec)
+            else:
+                send = None
+    except RecordingUnsupported:
+        _close(gen)
+        raise
+    except ProgramError:
+        _close(gen)
+        raise RecordingUnsupported("representative raised ProgramError") from None
+    except Exception as exc:
+        _close(gen)
+        raise RecordingUnsupported(f"thread body raised: {exc!r}") from None
+    static = tuple(
+        i
+        for i, op in enumerate(rec.ops)
+        if op[0] == _GUARD and not _has_resume(op[1])
+    )
+    return RecordedTrace(
+        func_name=getattr(func, "__name__", "?"),
+        n_args=len(args),
+        ops=tuple(rec.ops),
+        static_guards=static,
+        n_resumes=rec.n_resumes,
+        n_effects=rec.n_effects,
+    )

@@ -160,6 +160,14 @@ class MachineConfig:
         simulation (via :class:`~repro.errors.FastForwardMiss`) the
         moment a contention precondition breaks.  Metrics are identical
         by construction; only ``events_fired`` drops.
+    compiled:
+        If true, route thread creation through the cohort compiler
+        (:mod:`repro.compile.cohort`): EM-C threads run on generated
+        Python or the flat trace VM, and generator threads sharing a
+        trace shape replay a recorded effect trace.  Unmatchable
+        threads fall back to the interpreter per-thread; metrics, obs
+        events (minus the diagnostic ``COHORT`` category) and exports
+        are identical by construction.
     seed:
         Seed for any stochastic choices (none in the core model, but
         workload generators consume it).
@@ -172,6 +180,7 @@ class MachineConfig:
     priority_replies: bool = False
     network_model: str = "detailed"
     fidelity: str = "detailed"
+    compiled: bool = False
     max_cycles: int = 4_000_000_000
     #: Record burst-level trace events for :mod:`repro.trace` timelines.
     trace: bool = False

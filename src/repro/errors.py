@@ -12,6 +12,7 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "FastForwardMiss",
+    "CompileDivergence",
     "DeadlockError",
     "AddressError",
     "MemoryFault",
@@ -51,6 +52,16 @@ class FastForwardMiss(SimulationError):
     hybrid driver catches it and re-runs the workload at
     ``fidelity="detailed"`` — metric exactness is preserved by falling
     back, never by guessing.
+    """
+
+
+class CompileDivergence(SimulationError):
+    """A compiled cohort trace disagreed with the interpreted thread.
+
+    Only raised when the cohort manager runs in ``strict`` mode (the
+    differential harness and divergence tests); production runs handle
+    the same condition with a silent per-thread bailout instead.  The
+    message carries the first-divergent-effect diagnosis.
     """
 
 

@@ -60,6 +60,10 @@ class MachineReport:
     #: many events that saved.  Diagnostic only — deliberately excluded
     #: from metric comparisons, like ``events_fired``.
     fastforward: dict | None = None
+    #: Cohort-compiler accounting (``None`` unless ``compiled=True``):
+    #: per-front-end thread counts, cohort census, bailouts.  Diagnostic
+    #: only, excluded from metric comparisons like ``fastforward``.
+    cohort: dict | None = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -140,6 +144,14 @@ class EMX:
                 local_events[proc.pe] = proc.pending_local_events
         if self.shard is None:
             self.engine.quiescence_watcher = self._stuck_report
+        #: Cohort compiler (``compiled=True`` only): intercepts thread
+        #: creation to swap in compiled effect steppers.
+        self.cohorts = None
+        if self.config.compiled:
+            from ..compile.cohort import CohortManager
+
+            self.cohorts = CohortManager(self)
+            self.engine.finish_hooks.append(self.cohorts.on_drain)
 
     # ------------------------------------------------------------------
     # Program loading
@@ -184,7 +196,10 @@ class EMX:
         frame = proc.frames.create()
         tid = self._next_tid
         ctx = ThreadCtx(pe, self.config.n_pes, proc.memory, proc.guest_state, tid)
-        gen = func(ctx, *args) if cont is None else func(ctx, *args, cont)
+        if self.cohorts is not None:
+            gen = self.cohorts.instantiate(func, ctx, args, cont)
+        else:
+            gen = func(ctx, *args) if cont is None else func(ctx, *args, cont)
         thread = EMThread(tid, pe, frame, gen, name=f"{func_name}@{pe}")
         obs = self.obs
         if obs is not None:
@@ -275,6 +290,7 @@ class EMX:
             network=self.network.stats,
             traces=self.traces() if self.config.trace else None,
             fastforward=self._fastforward_summary(),
+            cohort=self._cohort_summary(),
         )
 
     def _fastforward_summary(self) -> dict | None:
@@ -293,6 +309,12 @@ class EMX:
             "kicks_inlined": kicks,
             "events_saved": getattr(net, "ff_events_saved", 0) + dma_folds + kicks,
         }
+
+    def _cohort_summary(self) -> dict | None:
+        """Cohort-compiler accounting for compiled runs (None otherwise)."""
+        if self.cohorts is None:
+            return None
+        return self.cohorts.summary()
 
     def traces(self) -> dict[int, list]:
         """Per-PE trace events (requires ``MachineConfig(trace=True)``)."""

@@ -82,6 +82,8 @@ def report_to_dict(report) -> dict[str, Any]:
     }
     if getattr(report, "fastforward", None) is not None:
         out["fastforward"] = dict(report.fastforward)
+    if getattr(report, "cohort", None) is not None:
+        out["cohort"] = dict(report.cohort)
     return out
 
 

@@ -35,6 +35,7 @@ __all__ = [
     "ThreadLife",
     "ServiceEvent",
     "FastForward",
+    "CohortEvent",
 ]
 
 
@@ -49,6 +50,7 @@ class Category(enum.Enum):
     THREAD = "thread"
     SERVICE = "service"
     FASTFORWARD = "fastforward"
+    COHORT = "cohort"
 
 
 @dataclass(frozen=True, slots=True)
@@ -204,6 +206,30 @@ class FastForward:
     kind: str
     seq: int = -1
     saved: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class CohortEvent:
+    """Cohort-compiler progress on a ``compiled=True`` machine.
+
+    Like :class:`FastForward` these are diagnostic: they exist only on
+    the compiled path and are excluded from interpreted-vs-compiled
+    comparisons.  ``kind`` is one of ``emc_codegen``/``emc_trace``/
+    ``emc_interp`` (an EM-C thread definition settling on a compile
+    tier; ``n`` = params or trace ops), ``record`` (a generator shape
+    recorded; ``n`` = trace effects), ``record_bail`` (the recorder
+    declined a shape; ``n`` = failure count), or ``bailout`` (a
+    lockstep-validated member diverged and fell back to its interpreted
+    generator; ``n`` = effect position of the first divergence).
+    """
+
+    category: ClassVar[Category] = Category.COHORT
+
+    t: int
+    pe: int
+    kind: str
+    name: str = ""
+    n: int = 0
 
 
 @dataclass(frozen=True, slots=True)

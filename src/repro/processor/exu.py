@@ -37,7 +37,7 @@ from ..core.effects import (
     TokenWait,
 )
 from ..core.thread import EMThread, ThreadState
-from ..errors import SchedulerError, ThreadProtocolError
+from ..errors import CompileDivergence, SchedulerError, ThreadProtocolError
 from ..metrics.counters import Bucket, SwitchKind
 from ..obs.events import BarrierEvent, BurstSpan, FastForward, ThreadSwitch
 from ..packet import Packet, PacketKind
@@ -335,6 +335,14 @@ class ExecutionUnit:
             except StopIteration:
                 finished = True
                 break
+            except CompileDivergence as exc:
+                # Strict-mode cohort divergence: pin the machine context
+                # onto the diagnosis before it leaves the burst loop.
+                exc.args = (
+                    f"{exc.args[0] if exc.args else exc!r} "
+                    f"[pe={pe} thread={thread.name} cycle={engine.now}]",
+                )
+                raise
             send_value = None
             et = type(eff)
 

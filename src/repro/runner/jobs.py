@@ -65,10 +65,12 @@ def machine_fingerprint(config: MachineConfig) -> str:
     the hybrid engine is differentially proven metric-identical to
     detailed (see :mod:`repro.sim.hybrid`), so it is an execution
     strategy, not a semantics change — the :class:`JobSpec` records it
-    separately when a job explicitly requests it.
+    separately when a job explicitly requests it.  ``compiled`` is
+    excluded for the same reason (see :mod:`repro.compile.differential`).
     """
     fields = asdict(config)
     fields.pop("fidelity", None)
+    fields.pop("compiled", None)
     blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -96,6 +98,10 @@ class JobSpec:
     #: Metrics are differentially proven identical, but hybrid jobs
     #: still key distinctly so a cache entry records how it was made.
     fidelity: str = "detailed"
+    #: Route thread creation through the cohort compiler
+    #: (:mod:`repro.compile`).  Differentially proven byte-identical,
+    #: but compiled jobs still key distinctly, like ``fidelity``.
+    compiled: bool = False
 
     def validate(self) -> None:
         """Raise on an unrunnable spec (unknown app, nonsense sizes)."""
@@ -124,6 +130,7 @@ class JobSpec:
             priority_replies=self.priority_replies,
             seed=self.seed,
             fidelity=self.fidelity,
+            compiled=self.compiled,
         )
 
     def key(self) -> str:
@@ -146,6 +153,10 @@ class JobSpec:
             # entry still records how it was produced; detailed specs
             # keep their historical keys.
             payload["fidelity"] = self.fidelity
+        if self.compiled:
+            # Same treatment: byte-identical by the compile oracle, but
+            # keyed distinctly; interpreted specs keep historical keys.
+            payload["compiled"] = True
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -164,6 +175,8 @@ class JobSpec:
             extras.append(f"shards={self.shards}")
         if self.fidelity != "detailed":
             extras.append(self.fidelity)
+        if self.compiled:
+            extras.append("compiled")
         suffix = f" [{','.join(extras)}]" if extras else ""
         return f"{self.app} P={self.n_pes} n/P={self.npp} h={self.h}{suffix}"
 
@@ -190,6 +203,7 @@ _SPEC_FIELDS = {
     "seed": int,
     "shards": int,
     "fidelity": str,
+    "compiled": bool,
 }
 _SPEC_REQUIRED = ("app", "n_pes", "npp", "h")
 
@@ -231,6 +245,7 @@ def expand_sweep(
     priority_replies: bool = False,
     seed: int = 0,
     fidelity: str = "detailed",
+    compiled: bool = False,
 ) -> list[JobSpec]:
     """One (app, P, n/P) thread sweep as jobs, skipping h > n/P.
 
@@ -248,6 +263,7 @@ def expand_sweep(
             priority_replies=priority_replies,
             seed=seed,
             fidelity=fidelity,
+            compiled=compiled,
         )
         for h in threads
         if h <= npp

@@ -80,6 +80,9 @@ class RunnerOptions:
     #: identical, with automatic detailed fallback on a miss; see
     #: :mod:`repro.sim.hybrid`).
     fidelity: str = "detailed"
+    #: Cohort compiler applied to jobs whose specs don't pin their own
+    #: (byte-identical by the compile oracle; see :mod:`repro.compile`).
+    compiled: bool = False
 
     def validate(self) -> None:
         if self.jobs < 1:
@@ -200,6 +203,8 @@ def _exec_spec(spec: JobSpec, options: RunnerOptions) -> JobSpec:
         spec = replace(spec, shards=options.shards)
     if options.fidelity != "detailed" and spec.fidelity == "detailed":
         spec = replace(spec, fidelity=options.fidelity)
+    if options.compiled and not spec.compiled:
+        spec = replace(spec, compiled=True)
     return spec
 
 

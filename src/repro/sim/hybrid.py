@@ -45,8 +45,10 @@ __all__ = [
 
 #: Report fields the two fidelities legitimately disagree on: the whole
 #: point of fast-forwarding is firing fewer events, and the accounting
-#: of what was skipped only exists on the hybrid side.
-DIAGNOSTIC_FIELDS = ("events_fired", "fastforward")
+#: of what was skipped only exists on the hybrid side.  ``cohort`` is
+#: the same kind of field for the cohort compiler — the compiled path's
+#: own accounting, meaningless to compare against an interpreted run.
+DIAGNOSTIC_FIELDS = ("events_fired", "fastforward", "cohort")
 
 
 def comparable_report(report) -> dict:

@@ -259,6 +259,26 @@ def call_app(fn, shards: int | None, kwargs: dict):
     n_pes = kwargs.get("n_pes")
     if not isinstance(n_pes, int) or n_pes < 1:
         raise SimulationError(f"sharded run needs an explicit n_pes, got {n_pes!r}")
+    config = kwargs.get("config")
+    if config is not None and getattr(config, "fidelity", None) == "hybrid":
+        # The sharded network has no fast-forward bookkeeping, so hybrid
+        # fidelity silently degrades to detailed under shards.  Metrics
+        # are still exact — but the user asked for a speedup they will
+        # not get, so say so instead of quietly ignoring the setting.
+        import warnings
+
+        warnings.warn(
+            f"fidelity='hybrid' is disabled under shards={shards}: the "
+            "sharded engine always simulates at detailed fidelity "
+            "(metrics are unaffected; drop shards= to get fast-forward)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        obs = kwargs.get("obs")
+        if obs is not None:
+            from ..obs.events import FastForward
+
+            obs.emit(FastForward(0, 0, 0, "disabled", -1, 0))
     count = max(1, min(int(shards), n_pes))
     bounds = partition(n_pes, count)
     if count == 1:

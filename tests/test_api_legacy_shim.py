@@ -1,0 +1,77 @@
+"""The legacy positional ``(n_pes, n, h)`` shim, end to end.
+
+Complements the basic mapping tests in ``test_api.py``: the
+DeprecationWarning must fire exactly once per *call site* (the default
+warning filter's dedup, preserved by ``stacklevel=2``), and a legacy
+call must produce a RunRecord serialization indistinguishable from the
+keyword form — figures built from old call sites cannot drift.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import app_names, get_app
+from repro.metrics.serialize import run_record_from_report, run_record_to_dict
+
+
+def _record(app, report, n_pes, npp, h):
+    return run_record_to_dict(
+        run_record_from_report(app, n_pes, npp, h, report, True)
+    )
+
+
+def test_warns_exactly_once_per_call_site():
+    fn = get_app("sort")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("default")
+        for _ in range(3):
+            fn(2, 16, 1, seed=0)  # one call site, hit three times
+        fn(2, 16, 1, seed=0)  # a second, distinct call site
+    deprecations = [w for w in caught if w.category is DeprecationWarning]
+    assert len(deprecations) == 2
+    # stacklevel=2 attributes the warning to the caller, not the shim.
+    assert all(w.filename == __file__ for w in deprecations)
+
+
+def test_positional_and_keyword_run_records_identical():
+    fn = get_app("sort")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = fn(4, 64, 2, seed=0)
+    modern = fn(n_pes=4, n=64, h=2, seed=0)
+    assert _record("sort", legacy.report, 4, 16, 2) == _record(
+        "sort", modern.report, 4, 16, 2
+    )
+
+
+def test_partial_positional_prefix_maps():
+    """Fewer than three positionals map left-to-right onto (n_pes, n, h)."""
+    fn = get_app("fft")
+    with pytest.warns(DeprecationWarning, match="n_pes, n"):
+        legacy = fn(4, 32, h=1, seed=0)
+    modern = fn(n_pes=4, n=32, h=1, seed=0)
+    assert legacy.report.runtime_cycles == modern.report.runtime_cycles
+
+
+def test_shim_applies_to_every_registered_app():
+    """Every registry entry is wrapped: positional calls warn uniformly
+    (unknown-keyword failures would raise TypeError instead)."""
+    for name in app_names():
+        fn = get_app(name)
+        assert hasattr(fn, "app_names"), f"{name} is not shim-wrapped"
+        assert name in fn.app_names
+
+
+def test_legacy_positional_works_under_compiled():
+    """The shim composes with the cohort compiler path."""
+    fn = get_app("emc-sort")
+    from repro.config import MachineConfig
+
+    with pytest.warns(DeprecationWarning, match="positional"):
+        legacy = fn(4, 64, 2, config=MachineConfig(compiled=True), seed=0)
+    modern = fn(n_pes=4, n=64, h=2, seed=0)
+    assert legacy.report.cohort["occupancy"] == 1.0
+    assert legacy.report.runtime_cycles == modern.report.runtime_cycles

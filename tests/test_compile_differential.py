@@ -1,0 +1,138 @@
+"""Differential oracle for the cohort compiler.
+
+The compiled path's bar is byte identity: metrics, ``events_fired``,
+serialized RunRecords, and the Perfetto export must all match the
+interpreted run exactly — the compiler changes how generators are
+driven, never what the machine does.  These tests sweep the fig6/fig7
+shape grid (tiny scale) for both front-ends (native ``threadlib``
+generators and EM-C programs), exercise the harness's shrinking, and
+cover the integration seams: the runner's JobSpec keying, execute_job,
+and the CLI flags.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.differential import (
+    CompileDifferentialHarness,
+    comparable_compile_report,
+)
+from repro.metrics.serialize import run_record_to_dict
+from repro.runner.jobs import JobSpec, machine_fingerprint, spec_from_dict, spec_to_dict
+from repro.runner.worker import execute_job
+
+#: The fig6/fig7 grid at test scale: every paper workload (both
+#: front-ends) on small machines across the thread sweep's low end.
+FIG_GRID = [
+    (app, n_pes, npp, h)
+    for app in ("sort", "fft", "transpose", "emc-sort")
+    for n_pes in (4, 8)
+    for npp in (8, 16)
+    for h in (1, 2, 4)
+]
+
+
+@pytest.mark.parametrize(
+    "app,n_pes,npp,h", FIG_GRID, ids=[f"{a}-P{p}-n{n}-h{h}" for a, p, n, h in FIG_GRID]
+)
+def test_fig_grid_byte_identical(app, n_pes, npp, h):
+    harness = CompileDifferentialHarness(app, seed=0)
+    result = harness.check(n_pes=n_pes, n=n_pes * npp, h=h)
+    assert result.identical, result.describe()
+    # events_fired is part of the comparison: structure, not just metrics.
+    assert result.interpreted.events_fired == result.compiled.events_fired
+
+
+def test_emc_front_end_fully_compiled():
+    """The EM-C workload compiles every thread (codegen tier), so the
+    occupancy is 1.0 and the compiled path actually ran compiled."""
+    harness = CompileDifferentialHarness("emc-sort", seed=0)
+    result = harness.check(n_pes=8, n=8 * 16, h=4)
+    cohort = result.compiled.cohort
+    assert cohort["occupancy"] == 1.0
+    assert cohort["emc_codegen_threads"] > 0
+
+
+def test_native_sort_bails_gracefully():
+    """Native sort's merge workers branch on remote data — the recorder
+    declines them, they run interpreted, and the run is *still*
+    byte-identical (the fallback is per-thread, never per-run)."""
+    harness = CompileDifferentialHarness("sort", seed=0)
+    result = harness.check(n_pes=4, n=64, h=2)
+    cohort = result.compiled.cohort
+    assert cohort["record_failures"] > 0
+    assert cohort["gen_interpreted_threads"] > 0
+    assert result.identical
+
+
+def test_harness_shrink_returns_identical_for_good_shape():
+    harness = CompileDifferentialHarness("sort", seed=0)
+    result = harness.shrink(dict(n_pes=4, n=32, h=1))
+    assert result.identical
+
+
+def test_run_records_identical_including_events():
+    """What figures and the cache consume is equal in full — unlike
+    hybrid, the compiled path may not even change the event count."""
+    base = JobSpec(app="sort", n_pes=4, npp=16, h=2)
+    compiled = JobSpec(app="sort", n_pes=4, npp=16, h=2, compiled=True)
+    rec_base = run_record_to_dict(execute_job(base))
+    rec_compiled = run_record_to_dict(execute_job(compiled))
+    assert rec_base == rec_compiled
+
+
+def test_jobspec_compiled_keys_distinctly():
+    base = JobSpec(app="sort", n_pes=4, npp=16, h=2)
+    compiled = JobSpec(app="sort", n_pes=4, npp=16, h=2, compiled=True)
+    assert base.key() != compiled.key()
+    assert "compiled" in compiled.describe()
+    assert "compiled" not in base.describe()
+    # The machine fingerprint ignores the flag (execution strategy, not
+    # semantics); the JobSpec key carries it instead.
+    assert machine_fingerprint(base.config()) == machine_fingerprint(
+        compiled.config()
+    )
+    # Wire round-trip preserves it.
+    assert spec_from_dict(spec_to_dict(compiled)) == compiled
+
+
+def test_cli_compiled_flag(capsys):
+    from repro.__main__ import main
+
+    main(["sort", "--pes", "4", "--size", "16", "--threads", "2", "--compiled"])
+    out = capsys.readouterr().out
+    assert "OK" in out
+
+
+def test_cli_apps_lists_registry(capsys):
+    from repro.__main__ import main
+
+    main(["apps"])
+    out = capsys.readouterr().out
+    for name in ("sort", "emc-sort", "fft", "transpose"):
+        assert name in out
+    assert "n_pes, n, h" in out  # the unified signature
+    assert "--compiled" in out  # supported flags
+
+
+def test_cli_apps_json(capsys):
+    import json
+
+    from repro.__main__ import main
+
+    main(["apps", "--json"])
+    entries = json.loads(capsys.readouterr().out)
+    by_name = {e["name"]: e for e in entries}
+    assert "bitonic" in by_name["sort"]["aliases"]
+    assert by_name["fft"]["signature"][:3] == ["n_pes", "n", "h"]
+    assert "--compiled" in by_name["sort"]["flags"]
+
+
+def test_comparable_report_drops_only_cohort():
+    import repro
+
+    report = repro.run("sort", n=32, n_pes=4, h=1, compiled=True)
+    comparable = comparable_compile_report(report)
+    assert "cohort" not in comparable
+    assert "events_fired" in comparable

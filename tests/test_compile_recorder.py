@@ -1,0 +1,194 @@
+"""Unit tests for the symbolic trace recorder.
+
+The recorder's contract: a thread records if (and only if) its control
+flow and effect operands are pure functions of ``(pe, n_pes, args)``
+plus pass-through resume values.  Everything else —
+shared-state access, computation on remote data, foreign yields —
+must abort with :class:`RecordingUnsupported`, never mis-record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile.recorder import (
+    MAX_TRACE_OPS,
+    RecordedTrace,
+    RecordingUnsupported,
+    eval_expr,
+    record_thread,
+)
+
+
+def _pingpong(ctx, peer, base):
+    yield ctx.compute(5)
+    value = yield ctx.read(ctx.ga(peer, base))
+    yield ctx.write(ctx.ga(ctx.pe, base + 1), value)
+
+
+def test_records_pure_thread_shape():
+    trace = record_thread(_pingpong, 0, 4, (1, 8))
+    assert isinstance(trace, RecordedTrace)
+    assert trace.func_name == "_pingpong"
+    assert trace.n_args == 2
+    assert trace.n_effects == 3
+    assert trace.n_resumes == 1  # only the read suspends
+    methods = [op[1] for op in trace.ops if op[0] == "eff"]
+    assert methods == ["compute", "read", "write"]
+
+
+def test_trace_operands_are_parameterized_not_baked():
+    """Another member's bindings evaluate to *its* values, not the
+    representative's."""
+    trace = record_thread(_pingpong, 0, 4, (1, 8))
+    read_op = next(op for op in trace.ops if op[0] == "eff" and op[1] == "read")
+    ga_expr = read_op[2][0]
+    captured = {}
+
+    def fake_ga(pe, off):
+        captured["addr"] = (pe, off)
+        return (pe, off)
+
+    eval_expr(ga_expr, 3, 4, (2, 100), [None], fake_ga)
+    assert captured["addr"] == (2, 100)
+
+
+def test_resume_passthrough_is_lazy_slot():
+    trace = record_thread(_pingpong, 0, 4, (1, 8))
+    write_op = next(op for op in trace.ops if op[0] == "eff" and op[1] == "write")
+    value_expr = write_op[2][1]
+    assert value_expr == ("resume", 0)
+    assert eval_expr(value_expr, 0, 4, (1, 8), ["sentinel"], None) == "sentinel"
+
+
+def _branchy(ctx, k):
+    if ctx.pe == 0:
+        yield ctx.compute(10)
+    else:
+        yield ctx.compute(20)
+    yield ctx.compute(k)
+
+
+def test_guards_split_cohorts_by_branch_outcome():
+    trace0 = record_thread(_branchy, 0, 4, (3,))
+    assert trace0.admits(0, 4, (3,))
+    assert not trace0.admits(1, 4, (3,))  # other branch: other shape
+    trace1 = record_thread(_branchy, 1, 4, (3,))
+    assert trace1.admits(2, 4, (3,))
+    assert not trace1.admits(0, 4, (3,))
+
+
+def test_admits_rejects_wrong_arity_and_bad_bindings():
+    def body(ctx, k):
+        if k > 0:
+            yield ctx.compute(1)
+
+    trace = record_thread(body, 0, 4, (3,))
+    assert trace.admits(0, 4, (1,))
+    assert not trace.admits(0, 4, ())
+    assert not trace.admits(0, 4, (3, 3))
+    # Non-numeric argument where the guard expects an int: reject, not raise.
+    assert not trace.admits(0, 4, (object(),))
+
+
+def _loops(ctx, h):
+    for _ in range(h):
+        yield ctx.compute(1)
+
+
+def test_index_pins_loop_bounds():
+    """range(h) forces h concrete; members must agree on it exactly."""
+    trace = record_thread(_loops, 0, 4, (3,))
+    assert trace.n_effects == 3
+    assert trace.admits(2, 4, (3,))
+    assert not trace.admits(0, 4, (4,))  # different trip count
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        lambda ctx, a: (yield ctx.compute(ctx.mem.read(0))),
+        lambda ctx, a: (yield ctx.compute(ctx.state["x"])),
+        lambda ctx, a: (yield ctx.compute(ctx.tid)),
+    ],
+    ids=["mem", "state", "tid"],
+)
+def test_shared_state_access_aborts(body):
+    with pytest.raises(RecordingUnsupported):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_arithmetic_on_resume_aborts():
+    def body(ctx, peer):
+        value = yield ctx.read(ctx.ga(peer, 0))
+        yield ctx.compute(value + 1)
+
+    with pytest.raises(RecordingUnsupported):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_branch_on_resume_aborts():
+    def body(ctx, peer):
+        value = yield ctx.read(ctx.ga(peer, 0))
+        if value > 0:
+            yield ctx.compute(1)
+
+    with pytest.raises(RecordingUnsupported):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_address_from_resume_aborts():
+    """Data-dependent communication cannot be shape-checked up front."""
+
+    def body(ctx, peer):
+        value = yield ctx.read(ctx.ga(peer, 0))
+        yield ctx.write(ctx.ga(value, 0), 1)
+
+    with pytest.raises(RecordingUnsupported):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_foreign_yield_aborts():
+    def body(ctx, a):
+        eff = ctx.compute(5)
+        yield eff
+        yield eff  # re-yield of a stale marker
+
+    with pytest.raises(RecordingUnsupported):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_non_generator_aborts():
+    with pytest.raises(RecordingUnsupported):
+        record_thread(lambda ctx, a: None, 0, 4, (1,))
+
+
+def test_representative_out_of_bounds_address_aborts():
+    """A faulting representative is handed to the interpreter so the
+    guest sees the real ProgramError, not a recorder artifact."""
+
+    def body(ctx, a):
+        yield ctx.read(ctx.ga(99, 0))
+
+    with pytest.raises(RecordingUnsupported):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_trace_length_cap():
+    def body(ctx, a):
+        while True:
+            yield ctx.compute(1)
+
+    with pytest.raises(RecordingUnsupported, match=str(MAX_TRACE_OPS)):
+        record_thread(body, 0, 4, (1,))
+
+
+def test_static_guards_are_resume_free():
+    """Opaque resume values abort on comparison, so every recorded
+    guard is admission-checkable — the invariant the cohort layer's
+    validation sampling design rests on."""
+    trace = record_thread(_branchy, 0, 8, (5,))
+    assert trace.static_guards  # the pe == 0 branch recorded a guard
+    guard_idx = set(trace.static_guards)
+    all_guards = {i for i, op in enumerate(trace.ops) if op[0] == "guard"}
+    assert guard_idx == all_guards
