@@ -15,6 +15,12 @@ Quickstart — run a paper workload through the app registry::
     report = repro.run("fft", n=1024, n_pes=16, h=4)
     print(report.runtime_cycles, report.breakdown)
 
+Execution strategy (process sharding, hybrid fidelity, the cohort
+compiler) is one object::
+
+    report = repro.run("fft", n=1024, n_pes=16, h=4,
+                       plan=repro.ExecutionPlan(shards=4))
+
 Or drive the machine directly::
 
     from repro import EMX, MachineConfig
@@ -32,7 +38,7 @@ Or drive the machine directly::
     print(report.runtime_cycles, report.network.summary())
 """
 
-from .api import APPS, app_names, connect, get_app, register_app, run
+from .api import APPS, ExecutionPlan, app_names, connect, get_app, register_app, run
 from .config import CLOCK_HZ, CYCLE_SECONDS, MachineConfig, TimingModel
 from .core import GlobalBarrier, OrderToken, ThreadCtx
 from .errors import ReproError
@@ -45,6 +51,7 @@ __version__ = "1.0.0"
 __all__ = [
     "run",
     "connect",
+    "ExecutionPlan",
     "APPS",
     "app_names",
     "get_app",

@@ -12,7 +12,8 @@ Usage::
     python -m repro cache stats       # inspect the on-disk result store
     python -m repro apps              # list registered workloads + flags
     python -m repro sort --pes 8 --size 128 --threads 4
-    python -m repro fft  --pes 8 --size 128 --threads 4 --compiled
+    python -m repro sort --pes 8 --plan shards=4     # windowed parallel run
+    python -m repro fft  --pes 8 --size 128 --threads 4 --plan compiled
     python -m repro sort --timeline    # ASCII per-PE activity timeline
     python -m repro trace fft --out run.perfetto.json  # Perfetto trace
     python -m repro serve --port 8737  # start the multi-client sweep service
@@ -51,6 +52,14 @@ from .metrics.counters import SwitchKind
 from .metrics.report import format_table
 
 
+def _add_plan_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--plan", default=None, metavar="SPEC",
+        help='execution plan, e.g. "shards=4,fidelity=hybrid,compiled" '
+             "(the one replacement for the deprecated --shards/--fidelity/"
+             "--compiled flags; see repro.ExecutionPlan)")
+
+
 def _add_runner_flags(parser: argparse.ArgumentParser, default_jobs: int | None = 1) -> None:
     """Attach the execution-engine flags shared by figure commands."""
     parser.add_argument(
@@ -67,17 +76,61 @@ def _add_runner_flags(parser: argparse.ArgumentParser, default_jobs: int | None 
         "--trace-dir", default=None, metavar="DIR",
         help="write a Perfetto trace per executed job under DIR "
              "(cache hits produce no trace; off by default)")
+    _add_plan_flag(parser)
     parser.add_argument(
         "--fidelity", choices=["detailed", "hybrid"], default="detailed",
-        help="hybrid fast-forwards conflict-free windows with analytic "
-             "costs (metric-identical, detailed fallback on a miss; "
-             "default: %(default)s)")
+        help="[deprecated: use --plan fidelity=hybrid] hybrid fast-forwards "
+             "conflict-free windows with analytic costs (metric-identical, "
+             "detailed fallback on a miss; default: %(default)s)")
     parser.add_argument(
         "--compiled", action="store_true",
-        help="route thread creation through the cohort compiler: threads "
-             "sharing a recorded effect-trace shape replay it batched "
-             "(byte-identical metrics and events, per-thread interpreter "
-             "bailout; off by default)")
+        help="[deprecated: use --plan compiled] route thread creation "
+             "through the cohort compiler: threads sharing a recorded "
+             "effect-trace shape replay it batched (byte-identical metrics "
+             "and events, per-thread interpreter bailout; off by default)")
+
+
+def _cli_plan(args: argparse.Namespace):
+    """Resolve ``--plan`` / legacy ``--shards --fidelity --compiled`` flags.
+
+    ``--plan`` wins and refuses to be combined with non-default legacy
+    flags; legacy flags still work but emit one DeprecationWarning
+    (visible: ``__main__`` is exempt from the default warning filter's
+    DeprecationWarning suppression).
+    """
+    import warnings
+
+    from .api import ExecutionPlan
+    from .errors import PlanError
+
+    legacy = {}
+    if getattr(args, "shards", 0):
+        legacy["shards"] = args.shards
+    if getattr(args, "fidelity", "detailed") != "detailed":
+        legacy["fidelity"] = args.fidelity
+    if getattr(args, "compiled", False):
+        legacy["compiled"] = True
+    text = getattr(args, "plan", None)
+    if text:
+        if legacy:
+            raise PlanError(
+                f"--plan cannot be combined with --{'/--'.join(sorted(legacy))}"
+            )
+        return ExecutionPlan.parse(text)
+    if legacy:
+        plan = ExecutionPlan(
+            shards=legacy.get("shards", 0),
+            fidelity=legacy.get("fidelity", "detailed"),
+            compiled=legacy.get("compiled", False),
+        )
+        warnings.warn(
+            f"--{'/--'.join(sorted(legacy))} is deprecated; "
+            f'pass --plan "{plan.describe()}" instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return plan
+    return ExecutionPlan()
 
 
 def _progress_printer():
@@ -104,9 +157,7 @@ def _configure_runner(args: argparse.Namespace) -> None:
         use_cache=not args.no_cache,
         progress=_progress_printer(),
         trace_dir=getattr(args, "trace_dir", None),
-        shards=getattr(args, "shards", 0) or 0,
-        fidelity=getattr(args, "fidelity", None) or "detailed",
-        compiled=getattr(args, "compiled", False),
+        plan=_cli_plan(args),
     )
 
 
@@ -326,17 +377,6 @@ def _cmd_goldens(args: argparse.Namespace) -> None:
         sys.exit(2)
 
 
-def _compiled_config(config):
-    """``config`` with the cohort compiler switched on (None -> fresh)."""
-    from dataclasses import replace
-
-    from .config import MachineConfig
-
-    if config is None:
-        return MachineConfig(compiled=True)
-    return replace(config, compiled=True)
-
-
 def _cmd_apps(args: argparse.Namespace) -> None:
     """List every registered workload: names, unified signature, flags."""
     import inspect
@@ -357,7 +397,7 @@ def _cmd_apps(args: argparse.Namespace) -> None:
             "name": canonical,
             "aliases": aliases,
             "signature": params,
-            "flags": ["--shards", "--fidelity", "--compiled"],
+            "flags": ["--plan", "--shards", "--fidelity", "--compiled"],
         })
     if args.json:
         import json
@@ -369,7 +409,8 @@ def _cmd_apps(args: argparse.Namespace) -> None:
         print(f"{entry['name']}{alias}")
         print(f"  signature: {', '.join(entry['signature'])}")
     print("\nevery app runs through repro.run(...) and supports "
-          "--shards K, --fidelity hybrid, and --compiled")
+          '--plan "shards=K,fidelity=hybrid,compiled" (the deprecated '
+          "--shards/--fidelity/--compiled spellings still work)")
 
 
 def _cmd_app(args: argparse.Namespace) -> None:
@@ -388,22 +429,9 @@ def _cmd_app(args: argparse.Namespace) -> None:
         kwargs["config"] = MachineConfig(trace=True)
     kwargs.update(n_pes=args.pes, n=args.pes * args.size, h=args.threads,
                   seed=args.seed)
-    if getattr(args, "compiled", False):
-        kwargs["config"] = _compiled_config(kwargs.get("config"))
-    if getattr(args, "fidelity", "detailed") != "detailed":
-        from .sim.hybrid import _with_fidelity
+    from .api import call_with_plan
 
-        kwargs = _with_fidelity(kwargs, args.fidelity)
-    if args.shards:
-        from .sim import parallel
-
-        result = parallel.call_app(runner, args.shards, kwargs)
-    elif getattr(args, "fidelity", "detailed") == "hybrid":
-        from .sim.hybrid import call_with_fallback
-
-        result = call_with_fallback(runner, kwargs)
-    else:
-        result = runner(**kwargs)
+    result = call_with_plan(runner, kwargs, _cli_plan(args))
     ok = result_ok(result)
     report = result.report
     if args.json:
@@ -421,6 +449,10 @@ def _cmd_app(args: argparse.Namespace) -> None:
         print("switches/PE: " + ", ".join(
             f"{k.value} {report.switches(k):.0f}" for k in SwitchKind))
         print(f"network: {report.network.summary()}")
+        if report.windows is not None:
+            from .metrics.report import format_windows
+
+            print(format_windows(report.windows))
     if args.timeline:
         from .trace import render_timeline
 
@@ -446,27 +478,20 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         write_perfetto,
     )
 
+    from .obs import Category
+
     bus = EventBus()
     recorder = RingRecorder(bus, capacity=args.buffer)
+    # SHARD is opt-in (excluded from the default subscription so model
+    # streams stay K-invariant); the trace exporter wants the window-
+    # protocol track, so subscribe the same recorder explicitly.
+    bus.subscribe(recorder.record, [Category.SHARD])
     kwargs = dict(
         n_pes=args.pes, n=args.pes * args.size, h=args.threads, seed=args.seed, obs=bus
     )
-    if getattr(args, "compiled", False):
-        kwargs["config"] = _compiled_config(kwargs.get("config"))
-    if getattr(args, "fidelity", "detailed") != "detailed":
-        from .sim.hybrid import _with_fidelity
+    from .api import call_with_plan
 
-        kwargs = _with_fidelity(kwargs, args.fidelity)
-    if args.shards:
-        from .sim import parallel
-
-        result = parallel.call_app(get_app(args.app), args.shards, kwargs)
-    elif getattr(args, "fidelity", "detailed") == "hybrid":
-        from .sim.hybrid import call_with_fallback
-
-        result = call_with_fallback(get_app(args.app), kwargs)
-    else:
-        result = get_app(args.app)(**kwargs)
+    result = call_with_plan(get_app(args.app), kwargs, _cli_plan(args))
     ok = result_ok(result)
     report = result.report
     write_perfetto(args.out, recorder.events, n_pes=args.pes)
@@ -519,7 +544,8 @@ def main(argv: list[str] | None = None) -> None:
                    help="comma-separated thread counts "
                         "(default: the paper's 1..16 sweep)")
     p.add_argument("--shards", type=int, default=0, metavar="K",
-                   help="shard each simulation across K worker processes "
+                   help="[deprecated: use --plan shards=K] shard each "
+                        "simulation across K worker processes "
                         "(conservative-window parallel run; 0 = legacy "
                         "sequential models; jobs x shards is budgeted "
                         "against the core count)")
@@ -616,17 +642,21 @@ def main(argv: list[str] | None = None) -> None:
                        help="render an ASCII per-PE activity timeline")
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="record the run and write a Perfetto trace to FILE")
+        _add_plan_flag(p)
         p.add_argument("--shards", type=int, default=0, metavar="K",
-                       help="run the simulation across K worker processes "
+                       help="[deprecated: use --plan shards=K] run the "
+                            "simulation across K worker processes "
                             "(0 = legacy sequential models)")
         p.add_argument("--fidelity", choices=["detailed", "hybrid"],
                        default="detailed",
-                       help="hybrid fast-forwards conflict-free windows "
-                            "with analytic costs (metric-identical; "
+                       help="[deprecated: use --plan fidelity=hybrid] hybrid "
+                            "fast-forwards conflict-free windows with "
+                            "analytic costs (metric-identical; "
                             "default: %(default)s)")
         p.add_argument("--compiled", action="store_true",
-                       help="route thread creation through the cohort "
-                            "compiler (byte-identical; off by default)")
+                       help="[deprecated: use --plan compiled] route thread "
+                            "creation through the cohort compiler "
+                            "(byte-identical; off by default)")
         p.set_defaults(func=_cmd_app, app=app)
 
     p = sub.add_parser(
@@ -643,17 +673,21 @@ def main(argv: list[str] | None = None) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--buffer", type=int, default=1_000_000, metavar="N",
                    help="ring-buffer capacity in events (default: %(default)s)")
+    _add_plan_flag(p)
     p.add_argument("--shards", type=int, default=0, metavar="K",
-                   help="run the simulation across K worker processes "
-                        "(0 = legacy sequential models)")
+                   help="[deprecated: use --plan shards=K] run the simulation "
+                        "across K worker processes; sharded traces gain a "
+                        "window-protocol track (0 = legacy sequential models)")
     p.add_argument("--fidelity", choices=["detailed", "hybrid"],
                    default="detailed",
-                   help="hybrid fast-forwards conflict-free windows with "
-                        "analytic costs; traces then contain FASTFORWARD "
+                   help="[deprecated: use --plan fidelity=hybrid] hybrid "
+                        "fast-forwards conflict-free windows with analytic "
+                        "costs; traces then contain FASTFORWARD "
                         "spans marking skipped regions (default: %(default)s)")
     p.add_argument("--compiled", action="store_true",
-                   help="route thread creation through the cohort compiler; "
-                        "traces then contain COHORT diagnostic events "
+                   help="[deprecated: use --plan compiled] route thread "
+                        "creation through the cohort compiler; traces then "
+                        "contain COHORT diagnostic events "
                         "(byte-identical otherwise; off by default)")
     p.set_defaults(func=_cmd_trace)
 

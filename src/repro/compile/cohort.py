@@ -63,7 +63,13 @@ from .recorder import (
 )
 from .trace import run_trace
 
-__all__ = ["CohortManager", "Cohort", "VALIDATE_STRIDE", "strict_cohorts"]
+__all__ = [
+    "CohortManager",
+    "Cohort",
+    "VALIDATE_STRIDE",
+    "strict_cohorts",
+    "strict_default",
+]
 
 #: Default for :attr:`CohortManager.strict` on new managers; flipped by
 #: :func:`strict_cohorts` so harnesses reach managers built deep inside
@@ -86,6 +92,16 @@ def strict_cohorts():
         yield
     finally:
         _STRICT_DEFAULT = prev
+
+
+def strict_default() -> bool:
+    """Is :func:`strict_cohorts` currently active?
+
+    ``ExecutionPlan.validate()`` consults this to flag the inert
+    combination *strict without compiled* — the strict flag only binds
+    to cohort managers, which exist only on compiled machines.
+    """
+    return _STRICT_DEFAULT
 
 #: Lockstep-validate the first member joining a cohort after the
 #: representative, then every VALIDATE_STRIDE-th joiner.

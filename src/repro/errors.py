@@ -10,6 +10,8 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigError",
+    "PlanError",
+    "PlanCompatibilityWarning",
     "SimulationError",
     "FastForwardMiss",
     "CompileDivergence",
@@ -35,6 +37,30 @@ class ReproError(Exception):
 
 class ConfigError(ReproError):
     """An invalid machine, timing, or experiment configuration."""
+
+
+class PlanError(ConfigError):
+    """An invalid or self-contradictory :class:`repro.api.ExecutionPlan`.
+
+    Raised by ``ExecutionPlan.validate()`` (and the entry points that
+    funnel through it) for malformed plans — an unknown fidelity, a
+    negative shard count, a plan passed alongside the legacy keyword
+    knobs it replaces.  Mode *incompatibilities* that the engine can
+    resolve safely (hybrid fidelity under sharding, strict cohort
+    validation without the compiler) are downgraded to
+    :class:`PlanCompatibilityWarning` instead.
+    """
+
+
+class PlanCompatibilityWarning(RuntimeWarning):
+    """An execution-plan combination that is legal but partially inert.
+
+    The single warning category for mode interactions: hybrid fidelity
+    under ``shards=K`` (the sharded engine always runs detailed),
+    strict cohort validation without ``compiled=True`` (nothing to
+    validate).  Subclasses :class:`RuntimeWarning` so pre-existing
+    ``pytest.warns(RuntimeWarning)`` callers keep matching.
+    """
 
 
 class SimulationError(ReproError):

@@ -64,6 +64,12 @@ class MachineReport:
     #: per-front-end thread counts, cohort census, bailouts.  Diagnostic
     #: only, excluded from metric comparisons like ``fastforward``.
     cohort: dict | None = None
+    #: Window-protocol accounting for sharded runs (``None`` otherwise):
+    #: protocol name, barrier/window counts, coalesce count, per-shard
+    #: barrier wall time and idle windows, lookahead-matrix bounds.
+    #: Diagnostic only — it depends on K and wall clocks, so it is
+    #: excluded from the serialised report and all metric comparisons.
+    windows: dict | None = None
 
     @property
     def runtime_seconds(self) -> float:
@@ -128,7 +134,8 @@ class EMX:
             from ..network.sharded import ShardedOmegaNetwork
 
             self.network = ShardedOmegaNetwork(
-                self.engine, self.config, self.shard.spec.owns, obs=obs
+                self.engine, self.config, self.shard.spec.owns, obs=obs,
+                spec=self.shard.spec,
             )
         else:
             self.network = build_network(self.engine, self.config, obs=obs)

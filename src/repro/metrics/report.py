@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_series"]
+__all__ = ["format_table", "format_series", "format_windows"]
 
 
 def _cell(value: Any) -> str:
@@ -42,3 +42,25 @@ def format_series(name: str, series: dict[int, float], unit: str = "") -> str:
     rows = [(x, y) for x, y in sorted(series.items())]
     header_y = f"{name}{f' [{unit}]' if unit else ''}"
     return format_table(["threads", header_y], rows)
+
+
+def format_windows(windows: dict) -> str:
+    """Render ``MachineReport.windows`` (sharded-run barrier accounting).
+
+    One summary line — protocol, barrier count, coalesced jumps, the
+    lookahead-matrix spread — followed by a per-shard table of window
+    counts, idle windows and barrier wall time.
+    """
+    summary = (
+        f"window protocol: {windows['protocol']}  shards={windows['shards']}  "
+        f"barriers={windows['count']}  coalesced={windows['coalesced']}  "
+        f"lookahead={windows['lookahead_min']}..{windows['lookahead_max']}"
+    )
+    rows = [
+        (shard, per["windows"], per["idle_windows"], per["barrier_wall_seconds"])
+        for shard, per in enumerate(windows["per_shard"])
+    ]
+    table = format_table(
+        ["shard", "windows", "idle", "barrier_s"], rows
+    )
+    return f"{summary}\n{table}"

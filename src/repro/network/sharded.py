@@ -1,11 +1,16 @@
 """Shard-partitionable Omega fabric for conservative-window parallel runs.
 
-This is the network model behind ``repro.run(..., shards=K)``.  The
-machine's PEs are partitioned into K contiguous shards, each advancing
-its own engine in lockstep *windows* of length L — the **lookahead**,
-the minimum injection-to-delivery latency any src≠dst packet can have —
-so a packet injected inside window W can never need delivering before
-window W+1.  See :mod:`repro.sim.parallel` for the window protocol.
+This is the network model behind ``repro.run(..., plan=ExecutionPlan(
+shards=K))``.  The machine's PEs are partitioned into K contiguous
+shards, each advancing its own engine under the adaptive window
+protocol of :mod:`repro.sim.parallel`.  The protocol's safety bound is
+the **per-pair lookahead matrix** ``L[i][j]`` (see
+:func:`lookahead_matrix`): the minimum injection-to-delivery latency of
+any packet from a PE of shard *i* to a *different* PE of shard *j*,
+computed from real shuffle-ring topology distance — so far-apart shard
+pairs synchronise far less often than the old scalar worst case forced.
+The scalar :func:`lookahead` (the matrix minimum) remains as the
+partition-independent floor.
 
 Two properties make the result independent of K:
 
@@ -18,14 +23,19 @@ Two properties make the result independent of K:
   one source only; since a source PE lives on exactly one shard, every
   packet's arrival cycle is computed entirely where it is injected and
   cannot depend on how the other PEs are partitioned.
-* **Canonical delivery order.**  No per-packet delivery events exist.
-  Arrivals append to a per-cycle pending list, and one *drain* event
-  per window cycle — pushed unconditionally at the window barrier, so
-  its bucket position is the same for every K — sorts its cycle's
-  records by ``(src_pe, per-source seq)`` and hands them to the
-  destination sinks.  Cross-shard records merge into the same lists at
-  the barrier under the same key, so the global delivery order is the
-  K-independent ``(cycle, src_pe, per-source seq)``.
+* **Head-of-cycle delivery.**  No per-packet delivery events exist.
+  Arrivals append to a per-cycle pending list, and the engine's
+  ``pre_cycle`` hook (:meth:`ShardedOmegaNetwork.deliver_cycle`)
+  delivers each cycle's records — sorted by ``(src_pe, per-source
+  seq)`` — *before any model event of that cycle fires*.  A no-op
+  *tick* event is scheduled for each new pending-arrival cycle so the
+  engine visits delivery-only cycles.  Delivery order is therefore the
+  K-independent ``(cycle, src_pe, per-source seq)``, by construction a
+  pure function of the simulated traffic: it cannot depend on the
+  window schedule, the barrier placement, or the shard count.  (The
+  previous protocol scheduled drain events *at the window barrier*,
+  which pinned delivery order to the window schedule and forced every
+  shard to share one global window sequence.)
 
 This is a *documented, distinct semantics* from the legacy live models
 (``shards=None``): the legacy detailed model arbitrates each interior
@@ -48,7 +58,12 @@ from ..obs.events import PacketDeliver, PacketHop
 from ..packet import Packet, PacketKind, Priority
 from .topology import CircularOmegaTopology
 
-__all__ = ["lookahead", "ShardedOmegaNetwork", "merge_network_stats"]
+__all__ = [
+    "lookahead",
+    "lookahead_matrix",
+    "ShardedOmegaNetwork",
+    "merge_network_stats",
+]
 
 
 def lookahead(config: MachineConfig) -> int:
@@ -78,6 +93,44 @@ def lookahead(config: MachineConfig) -> int:
     return min_hops + config.timing.eject
 
 
+def lookahead_matrix(
+    config: MachineConfig, bounds: tuple[tuple[int, int], ...]
+) -> tuple[tuple[int, ...], ...]:
+    """Per-shard-pair delivery-latency lower bounds, in cycles.
+
+    ``bounds`` is the contiguous partition from
+    :func:`repro.sim.parallel.partition`.  Entry ``[i][j]`` is the
+    minimum over all ``src ∈ shard_i, dst ∈ shard_j, src ≠ dst`` of
+    ``hop_count(src, dst) + eject`` — the earliest any packet injected
+    by shard *i* at cycle ``t`` can need delivering on shard *j*
+    (contention and cut-through waits only delay; see :func:`lookahead`
+    for the latency decomposition).  Every entry is therefore a true
+    lower bound on cross-pair delivery latency, and every entry is
+    ``>=`` the scalar :func:`lookahead` (which is exactly the matrix
+    minimum when K > 1).
+
+    Diagonal entries bound *intra*-shard cross-PE traffic and are never
+    consulted by the window protocol (a shard needs no lookahead
+    against itself); a single-PE shard, having no distinct pair, gets
+    the self-send floor ``eject + 1`` there.
+    """
+    eject = config.timing.eject
+    count = len(bounds)
+    if config.n_pes < 2:
+        return tuple((eject + 1,) * count for _ in range(count))
+    topo = CircularOmegaTopology(config.n_pes)
+    rows = []
+    for slo, shi in bounds:
+        row = []
+        for dlo, dhi in bounds:
+            if slo == dlo and shi - slo == 1:
+                row.append(eject + 1)  # single-PE shard diagonal
+            else:
+                row.append(topo.min_hops_between(range(slo, shi), range(dlo, dhi)) + eject)
+        rows.append(tuple(row))
+    return tuple(rows)
+
+
 def _delivery_order(record: tuple) -> tuple[int, int]:
     """Sort key within one delivery cycle: (src_pe, per-source seq)."""
     return (record[1], record[2])
@@ -91,9 +144,16 @@ class ShardedOmegaNetwork:
     the *egress* list the window protocol ships at each barrier.
     Delivery records are ``(arrival, src, sseq, hops, pkt)`` tuples —
     picklable, self-contained, and carrying the canonical merge key.
+
+    ``spec`` (a :class:`repro.sim.parallel.ShardSpec`) enables the
+    per-pair machinery: the lookahead matrix, the tighter pairwise
+    egress guard in :meth:`send`, and the per-destination-shard bound
+    the adaptive window protocol reads.  Without it (direct
+    construction in tests) the scalar ``lookahead`` guards every
+    boundary crossing, as before.
     """
 
-    def __init__(self, engine, config: MachineConfig, owns, obs=None) -> None:
+    def __init__(self, engine, config: MachineConfig, owns, obs=None, spec=None) -> None:
         if config.network_model not in ("detailed", "analytic"):
             raise NetworkError(f"unknown network model {config.network_model!r}")
         self.engine = engine
@@ -103,6 +163,25 @@ class ShardedOmegaNetwork:
         self.stats = NetworkStats()
         self.owns = owns
         self.lookahead = lookahead(config)
+        self.spec = spec
+        #: K×K per-pair lookahead matrix (``None`` without a spec).
+        self.pair_lookahead = None
+        #: dst PE → ``pair_lookahead[my_shard][shard_of(dst)]`` — the
+        #: egress guard bound, resolved once per destination.
+        self._dst_bound: list[int] | None = None
+        if spec is not None:
+            self.pair_lookahead = lookahead_matrix(config, spec.bounds)
+            me = spec.index
+            shard_of = []
+            for pe in range(config.n_pes):
+                for index, (lo, hi) in enumerate(spec.bounds):
+                    if lo <= pe < hi:
+                        shard_of.append(index)
+                        break
+            self._dst_bound = [self.pair_lookahead[me][s] for s in shard_of]
+        #: Head-of-cycle delivery: the engine calls back before firing
+        #: any of a cycle's model events.
+        engine.pre_cycle = self.deliver_cycle
         self._detailed = config.network_model == "detailed"
         self._sinks: dict[int, object] = {}
         #: src PE → its private ``{port: [next_free, busy]}`` plane.
@@ -121,10 +200,11 @@ class ShardedOmegaNetwork:
         #: ``max_in_flight`` is a canonical sweep over these.
         self.born_counts: Counter = Counter()
         self.arrival_counts: Counter = Counter()
-        #: Drain events fired — subtracted from ``engine.events_fired``
-        #: so the reported event count excludes protocol scaffolding
-        #: (whose count depends on the window sequence, not the model).
-        self.drains_fired = 0
+        #: Tick events fired (one no-op per distinct pending-arrival
+        #: cycle, forcing the engine to visit delivery-only cycles) —
+        #: subtracted from ``engine.events_fired`` so the reported event
+        #: count excludes protocol scaffolding.
+        self.ticks_fired = 0
         self.in_flight = 0  # kept for interface parity; not tracked live
         self._eject = self.timing.eject
         self._cpp = self.timing.port_cycles_per_packet
@@ -207,13 +287,15 @@ class ShardedOmegaNetwork:
             bucket = self._pending.get(arrival)
             if bucket is None:
                 self._pending[arrival] = [record]
+                self.engine.schedule_at(arrival, self._tick)
             else:
                 bucket.append(record)
         else:
-            if arrival < now + self.lookahead:
+            bound = self.lookahead if self._dst_bound is None else self._dst_bound[dst]
+            if arrival < now + bound:
                 raise SimulationError(
                     f"lookahead violation: packet {src}->{dst} injected at "
-                    f"{now} arrives at {arrival} < {now + self.lookahead}"
+                    f"{now} arrives at {arrival} < {now + bound}"
                 )
             # Boundary records are flattened to primitive tuples here,
             # at injection: the window protocol pickles the egress list
@@ -256,9 +338,18 @@ class ShardedOmegaNetwork:
         return out
 
     def add_ingress(self, records: list) -> None:
-        """Merge another shard's egress records addressed to local PEs."""
+        """Merge another shard's egress records addressed to local PEs.
+
+        Ingested at the window barrier.  The adaptive protocol
+        guarantees every record's arrival cycle lies beyond the
+        ingesting shard's last horizon (the pairwise lookahead bounds
+        it below by the sender's ``ea + L``), so the tick always lands
+        in this engine's future.
+        """
         owns = self.owns
         pending = self._pending
+        schedule_at = self.engine.schedule_at
+        tick = self._tick
         for rec in records:
             dst = rec[5]
             if not owns(dst):
@@ -278,6 +369,7 @@ class ShardedOmegaNetwork:
             bucket = pending.get(rec[0])
             if bucket is None:
                 pending[rec[0]] = [record]
+                schedule_at(rec[0], tick)
             else:
                 bucket.append(record)
 
@@ -285,22 +377,27 @@ class ShardedOmegaNetwork:
         """Earliest cycle with an undelivered arrival, or ``None``."""
         return min(self._pending) if self._pending else None
 
-    def push_drains(self, start: int, stop: int) -> None:
-        """Schedule one delivery drain per cycle of ``[start, stop)``.
+    def _tick(self) -> None:
+        """No-op scheduled once per new pending-arrival cycle.
 
-        Called at the window barrier, *after* every event of earlier
-        windows was pushed and *before* any event of this window runs —
-        a bucket position that is identical for every shard count,
-        which is what makes same-cycle delivery-vs-model ordering
-        deterministic and K-independent.
+        Its only job is to make the engine *visit* cycles whose sole
+        content is packet delivery (which happens in the
+        :meth:`deliver_cycle` pre-cycle hook).  Counted so the
+        scaffolding can be subtracted from ``events_fired``.
         """
-        schedule_at = self.engine.schedule_at
-        drain = self._drain
-        for cycle in range(start, stop):
-            schedule_at(cycle, drain, cycle)
+        self.ticks_fired += 1
 
-    def _drain(self, cycle: int) -> None:
-        self.drains_fired += 1
+    def deliver_cycle(self, cycle: int) -> None:
+        """Head-of-cycle delivery hook (installed as ``engine.pre_cycle``).
+
+        Runs after the clock advances to ``cycle`` and before any of
+        that cycle's model events fire; delivers the cycle's pending
+        records in the canonical ``(src_pe, per-source seq)`` order.
+        Because every visited cycle passes through here — and ticks
+        force a visit to delivery-only cycles — delivery timing and
+        ordering are a pure function of the traffic, independent of the
+        window schedule and the shard count.
+        """
         records = self._pending.pop(cycle, None)
         if records is None:
             return

@@ -45,6 +45,7 @@ from .events import (
     PacketHop,
     PacketSend,
     ServiceEvent,
+    ShardWindow,
     ThreadLife,
     ThreadSwitch,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "ThreadLife",
     "ServiceEvent",
     "FastForward",
+    "ShardWindow",
     "EventBus",
     "RingRecorder",
     "PacketSpan",

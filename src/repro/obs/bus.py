@@ -34,7 +34,13 @@ class EventBus:
     def subscribe(
         self, fn: Subscriber, categories: Iterable[Category] | None = None
     ) -> None:
-        """Deliver every event (or only ``categories``) to ``fn``."""
+        """Deliver every event (or only ``categories``) to ``fn``.
+
+        ``categories=None`` means *every model category*: it excludes
+        :attr:`Category.SHARD`, whose events describe the shard
+        partition rather than the simulated machine and are delivered
+        only to subscribers naming the category explicitly.
+        """
         cats = None if categories is None else frozenset(categories)
         self._subscribers.append((fn, cats))
         self._rebuild()
@@ -51,7 +57,11 @@ class EventBus:
 
     def _rebuild(self) -> None:
         self._by_category = {
-            c: tuple(fn for fn, cats in self._subscribers if cats is None or c in cats)
+            c: tuple(
+                fn
+                for fn, cats in self._subscribers
+                if (c is not Category.SHARD if cats is None else c in cats)
+            )
             for c in Category
         }
 

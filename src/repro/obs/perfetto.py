@@ -13,7 +13,11 @@ Serialises a recorded event stream to the JSON trace-event format that
   suspending burst to the reply that resumes it;
 * instant events for context switches (classified as the paper's
   Fig. 9 kinds), matching-store parks/matches, barrier protocol steps
-  and thread lifecycle transitions.
+  and thread lifecycle transitions;
+* a ``shards`` pseudo-process with one track per shard, carrying the
+  window-protocol schedule of sharded runs (SHARD-category
+  :class:`~repro.obs.events.ShardWindow` events — recorded only by
+  subscribers that opted into the category).
 
 Timestamps are microseconds (the trace-event unit) at the EM-X's
 20 MHz clock: one cycle = 0.05 µs.  :func:`validate_perfetto` is the
@@ -34,6 +38,7 @@ from .events import (
     PacketDeliver,
     PacketHop,
     PacketSend,
+    ShardWindow,
     ThreadLife,
     ThreadSwitch,
 )
@@ -95,6 +100,7 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
     def _bar_id(barrier_id: int) -> int:
         return bar_norm.setdefault(barrier_id, len(bar_norm))
     pes: set[int] = set(range(n_pes)) if n_pes is not None else set()
+    shards: set[int] = set()
     trace: list[dict] = []
     for ev in events:
         et = type(ev)
@@ -139,6 +145,9 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
         elif et is FastForward:
             pes.add(ev.pe)
             trace.append(ev)
+        elif et is ShardWindow:
+            shards.add(ev.shard)
+            trace.append(ev)
         elif et is MatchEvent:
             pes.add(ev.pe)
             trace.append({
@@ -179,6 +188,14 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
     pids = sorted(pes)
     net_pid = (max(pids) + 1) if pids else 0
     out: list[dict] = _metadata(pids, net_pid)
+    # Window-protocol track: one pseudo-process, one thread per shard.
+    shard_pid = net_pid + 1
+    for shard in sorted(shards):
+        if shard == min(shards):
+            out.append({"ph": "M", "name": "process_name", "pid": shard_pid,
+                        "tid": 0, "args": {"name": "shards"}})
+        out.append({"ph": "M", "name": "thread_name", "pid": shard_pid,
+                    "tid": shard, "args": {"name": f"shard {shard}"}})
     for item in trace:
         et = type(item)
         if et is dict:
@@ -226,6 +243,21 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
                     "kind": item.kind, "pe": item.pe,
                     "cycles": item.end - item.t, "events_saved": item.saved,
                     **({"seq": _id(item.seq)} if item.seq in norm or item.seq in sent_seqs else {}),
+                },
+            })
+        elif et is ShardWindow:
+            # One duration slice per (shard, window) on the shard track:
+            # the window-protocol schedule laid over the machine's
+            # timeline, so barrier placement is visible next to the
+            # bursts it paces.
+            out.append({
+                "name": f"window s{item.shard}", "cat": "shard",
+                "ph": "X", "ts": _us(item.t),
+                "dur": _us(item.end) - _us(item.t),
+                "pid": shard_pid, "tid": item.shard,
+                "args": {
+                    "shard": item.shard, "cycles": item.end - item.t,
+                    "barrier_us": item.barrier_us, "fired": item.fired,
                 },
             })
     return {

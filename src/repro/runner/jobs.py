@@ -27,11 +27,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import InitVar, asdict, dataclass
 from typing import Iterable, Sequence
 
+from ..api import ExecutionPlan
 from ..config import MachineConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, PlanError
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -102,6 +103,35 @@ class JobSpec:
     #: (:mod:`repro.compile`).  Differentially proven byte-identical,
     #: but compiled jobs still key distinctly, like ``fidelity``.
     compiled: bool = False
+    #: Construction-time alternative to the three execution fields: a
+    #: :class:`repro.api.ExecutionPlan` whose ``shards``/``fidelity``/
+    #: ``compiled`` are copied onto the spec, then discarded.  Keys,
+    #: wire format and ordering see only the plain fields, so
+    #: ``JobSpec(..., plan=ExecutionPlan(shards=2))`` and the legacy
+    #: ``JobSpec(..., shards=2)`` are the same spec.
+    plan: InitVar[ExecutionPlan | None] = None
+
+    def __post_init__(self, plan: ExecutionPlan | None) -> None:
+        if plan is not None:
+            if self.shards or self.fidelity != "detailed" or self.compiled:
+                raise PlanError(
+                    "pass plan=ExecutionPlan(...) or the legacy "
+                    "shards=/fidelity=/compiled= fields, not both"
+                )
+            plan.validate()
+            object.__setattr__(self, "shards", int(plan.shards))
+            object.__setattr__(self, "fidelity", str(plan.fidelity))
+            object.__setattr__(self, "compiled", bool(plan.compiled))
+        # Consumed: store None so dataclasses.replace() round-trips
+        # without resurrecting (and re-applying) a stale plan.
+        object.__setattr__(self, "plan", None)
+
+    @property
+    def execution_plan(self) -> ExecutionPlan:
+        """This spec's execution strategy as one :class:`ExecutionPlan`."""
+        return ExecutionPlan(
+            shards=self.shards, fidelity=self.fidelity, compiled=self.compiled
+        )
 
     def validate(self) -> None:
         """Raise on an unrunnable spec (unknown app, nonsense sizes)."""

@@ -23,10 +23,12 @@ from __future__ import annotations
 
 import contextlib
 import functools
+import warnings
 from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
-from ..errors import ConfigError
+from ..api import ExecutionPlan
+from ..errors import ConfigError, PlanError
 from .cache import ResultCache
 from .jobs import FIGURES, JobSpec, dedupe, expand_figures, expand_sweep
 from .pool import PoolStatus, run_jobs
@@ -96,14 +98,54 @@ class RunnerOptions:
         if self.timeout is not None and self.timeout <= 0:
             raise ConfigError(f"timeout must be positive, got {self.timeout}")
 
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The execution strategy these options apply to unpinned specs."""
+        return ExecutionPlan(
+            shards=self.shards, fidelity=self.fidelity, compiled=self.compiled
+        )
+
 
 _options = RunnerOptions()
 
+#: RunnerOptions fields subsumed by ``plan=``; passing them directly to
+#: :func:`configure`/:func:`using` still works but is deprecated.
+_PLAN_FIELDS = ("shards", "fidelity", "compiled")
+
+
+def _expand_plan(overrides: dict) -> dict:
+    """Fold a ``plan=ExecutionPlan(...)`` override into the flat fields."""
+    plan = overrides.pop("plan", None)
+    legacy = [name for name in _PLAN_FIELDS if name in overrides]
+    if plan is not None:
+        if legacy:
+            raise PlanError(
+                "pass plan=ExecutionPlan(...) or the legacy "
+                "shards=/fidelity=/compiled= overrides, not both"
+            )
+        plan.validate()
+        overrides.update(
+            shards=plan.shards, fidelity=plan.fidelity, compiled=plan.compiled
+        )
+    elif legacy:
+        warnings.warn(
+            f"configure({', '.join(f'{name}=' for name in legacy)}...) is "
+            "deprecated; pass plan=ExecutionPlan(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return overrides
+
 
 def configure(**overrides) -> RunnerOptions:
-    """Replace selected fields of the process-global options."""
+    """Replace selected fields of the process-global options.
+
+    Execution strategy comes in as one ``plan=ExecutionPlan(...)``
+    override; the individual ``shards``/``fidelity``/``compiled``
+    keywords remain as a deprecated shim.
+    """
     global _options
-    _options = replace(_options, **overrides)
+    _options = replace(_options, **_expand_plan(overrides))
     _options.validate()
     return _options
 

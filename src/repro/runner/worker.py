@@ -26,7 +26,7 @@ import threading
 import time
 from dataclasses import dataclass
 
-from ..api import get_app, result_ok
+from ..api import call_with_plan, get_app, result_ok
 from ..errors import ProgramError, SimulationError
 from ..metrics.serialize import run_record_from_report
 from .jobs import JobSpec
@@ -181,19 +181,12 @@ def execute_job(spec: JobSpec, *, trace_dir: str | None = None):
     kwargs = dict(
         n_pes=spec.n_pes, n=n, h=spec.h, config=config, seed=spec.seed, obs=bus
     )
-    if spec.shards:
-        from ..sim import parallel
-
-        result = parallel.call_app(fn, spec.shards, kwargs)
-    elif spec.fidelity == "hybrid":
-        # Fast-forward with the detailed-rerun safety net: a
-        # FastForwardMiss costs one detailed execution, never a wrong
-        # (or differently-keyed) record.
-        from ..sim.hybrid import call_with_fallback
-
-        result = call_with_fallback(fn, kwargs)
-    else:
-        result = fn(**kwargs)
+    # One dispatch funnel for every execution mode: sharded runs,
+    # hybrid fast-forward (with its detailed-rerun safety net), the
+    # cohort compiler.  The spec's three execution fields are exactly
+    # an ExecutionPlan; config already carries fidelity/compiled, so
+    # the plan only adds the shard fan-out here.
+    result = call_with_plan(fn, kwargs, spec.execution_plan)
     verified = result_ok(result)
     if not verified:
         raise ProgramError(f"{spec.app} run produced a wrong answer at {spec.describe()}")

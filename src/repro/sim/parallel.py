@@ -1,22 +1,49 @@
 """Conservative-window parallel simulation across forked shard workers.
 
-``repro.run(..., shards=K)`` partitions the machine's PEs into K
-contiguous shards.  Each shard is a process running its own
-:class:`~repro.sim.engine.Engine` over its own PEs, advancing in
-lockstep *windows* of length L — the fabric lookahead (see
-:func:`repro.network.sharded.lookahead`) — so no packet injected inside
-a window can need delivering before the next one.  The protocol, per
-window barrier:
+``repro.run(..., plan=ExecutionPlan(shards=K))`` partitions the
+machine's PEs into K contiguous shards.  Each shard is a process
+running its own :class:`~repro.sim.engine.Engine` over its own PEs,
+advancing in *windows* bounded by the fabric's lookahead.  Packet
+delivery itself is window-independent: arrivals land at the head of
+their cycle via the engine's ``pre_cycle`` hook (see
+:mod:`repro.network.sharded`), so the protocol below only decides *how
+far* each shard may run between barriers, never *what* it simulates.
+
+The default ``"adaptive"`` protocol uses the per-pair lookahead matrix
+``L[i][j]`` (:func:`repro.network.sharded.lookahead_matrix`) — the real
+topology distance between each pair of shards.  Per barrier:
 
 1. every shard broadcasts its boundary packets (*egress*) plus the
    earliest cycle it has any local work (engine queue or pending
    arrivals), computed *before* ingesting this round's ingress;
-2. every shard computes the identical next window start
-   ``T = min(all local-next, all egress arrival cycles)`` — windows
-   skip idle gaps, and ``T = ∞`` terminates the run everywhere at once;
-3. each shard ingests the egress addressed to it, schedules one
-   delivery drain per cycle of ``[T, T + L)``, and runs its engine to
-   ``T + L - 1``.
+2. from the identical set of replies, every shard derives ``na[j]`` —
+   the earliest cycle shard *j* can possibly fire anything (its own
+   next work or an egress arrival addressed to it) — and relaxes it to
+   the fixed point ``ea[j] = min(na[j], min_{k≠j}(ea[k] + L[k][j]))``
+   (Bellman–Ford over the K shards): the earliest cycle at which *any*
+   chain of cross-shard packets could give shard *j* new work;
+3. the fleet *coalesces* to ``T = min(ea)`` — one barrier jumps every
+   shard over the global idle gap, and ``T = ∞`` terminates the run
+   everywhere at once;
+4. each shard ingests the egress addressed to it and runs to its own
+   horizon ``min_{k≠me}(ea[k] + L[k][me]) - 1`` — far-apart shard
+   pairs legitimately synchronise less often than adjacent ones, and a
+   single shard (K = 1) simply runs to completion.
+
+Safety: any packet shard *k* injects after this barrier is injected at
+cycle ``>= ea[k]`` and needs delivering on shard *me* no earlier than
+``ea[k] + L[k][me]``, i.e. beyond the horizon — the pairwise egress
+guard in :meth:`~repro.network.sharded.ShardedOmegaNetwork.send`
+enforces exactly this bound.  Progress: the shard with minimal ``ea``
+has ``ea = na`` (no chain can undercut the global minimum) and a
+horizon at or past it, so every round fires at least one real event.
+
+The legacy ``"scalar"`` protocol (every shard runs ``[T, T + L - 1]``
+with the one worst-case scalar lookahead) is kept behind
+:func:`window_protocol` for comparison; the adaptive protocol must —
+and the benchmark gate checks it does — take strictly fewer barriers.
+Either way the simulated outcome is byte-identical: windows only pace
+the engines.
 
 Transport is a full mesh of ``multiprocessing`` pipes between the
 coordinating process (shard 0) and ``os.fork``'d children, mirroring
@@ -27,12 +54,16 @@ and a shard that just dies surfaces as a loud
 never a hang or a silent partial result.
 
 At the final barrier the children ship their owned PEs' counters,
-memories, traces, network statistics and event logs to shard 0, which
-merges them (deterministically — see :mod:`repro.obs.merge` and
+memories, traces, network statistics, event logs and window/barrier
+accounting to shard 0, which merges them (deterministically — see
+:mod:`repro.obs.merge` and
 :func:`repro.network.sharded.merge_network_stats`) and builds the one
 :class:`~repro.machine.MachineReport` the caller sees.  Every metric in
 that report is a pure function of the simulated run, not the partition:
-K ∈ {1, 2, 4, …} produce identical reports.
+K ∈ {1, 2, 4, …} produce identical reports.  Only the report's
+``windows`` diagnostics section (barrier counts and wall times) depends
+on K and the protocol — it is deliberately excluded from the report's
+serialised form.
 """
 
 from __future__ import annotations
@@ -42,6 +73,7 @@ import os
 import pickle
 import signal
 import sys
+import time
 from dataclasses import dataclass
 
 from ..errors import DeadlockError, SimulationError
@@ -52,6 +84,7 @@ __all__ = [
     "active_context",
     "activate",
     "partition",
+    "window_protocol",
     "call_app",
     "run_windowed",
 ]
@@ -60,9 +93,20 @@ _INF = float("inf")
 
 
 def partition(n_pes: int, count: int) -> tuple[tuple[int, int], ...]:
-    """Contiguous, near-equal ``(lo, hi)`` PE ranges for each shard."""
-    if count < 1 or count > n_pes:
-        raise SimulationError(f"cannot split {n_pes} PEs into {count} shards")
+    """Contiguous, near-equal ``(lo, hi)`` PE ranges for each shard.
+
+    When ``count`` does not divide ``n_pes`` the remainder spreads one
+    extra PE over the trailing shards (``(n_pes * i) // count`` bounds),
+    so sizes differ by at most one and the ranges always tile
+    ``[0, n_pes)`` exactly.
+    """
+    if count < 1:
+        raise SimulationError(f"shard count must be at least 1, got {count}")
+    if count > n_pes:
+        raise SimulationError(
+            f"cannot split {n_pes} PEs into {count} shards: "
+            "each shard needs at least one PE"
+        )
     return tuple(
         ((n_pes * i) // count, (n_pes * (i + 1)) // count) for i in range(count)
     )
@@ -77,8 +121,21 @@ class ShardSpec:
     bounds: tuple[tuple[int, int], ...]
 
     def owns(self, pe: int) -> bool:
+        """Is ``pe`` simulated by this shard?  Half-open bounds, so with
+        uneven partitions a boundary PE belongs to exactly one shard."""
         lo, hi = self.bounds[self.index]
         return lo <= pe < hi
+
+    def shard_of(self, pe: int) -> int:
+        """The shard index owning ``pe``; raises on out-of-range PEs
+        (a PE silently owned by nobody would drop its packets)."""
+        if 0 <= pe < self.bounds[-1][1]:
+            for index, (lo, hi) in enumerate(self.bounds):
+                if pe < hi:
+                    return index
+        raise SimulationError(
+            f"PE {pe} outside the partitioned machine of {self.bounds[-1][1]} PEs"
+        )
 
 
 @dataclass
@@ -261,19 +318,10 @@ def call_app(fn, shards: int | None, kwargs: dict):
         raise SimulationError(f"sharded run needs an explicit n_pes, got {n_pes!r}")
     config = kwargs.get("config")
     if config is not None and getattr(config, "fidelity", None) == "hybrid":
-        # The sharded network has no fast-forward bookkeeping, so hybrid
-        # fidelity silently degrades to detailed under shards.  Metrics
-        # are still exact — but the user asked for a speedup they will
-        # not get, so say so instead of quietly ignoring the setting.
-        import warnings
-
-        warnings.warn(
-            f"fidelity='hybrid' is disabled under shards={shards}: the "
-            "sharded engine always simulates at detailed fidelity "
-            "(metrics are unaffected; drop shards= to get fast-forward)",
-            RuntimeWarning,
-            stacklevel=3,
-        )
+        # Hybrid fidelity silently degrades to detailed under shards;
+        # the user-facing warning for this combination lives in
+        # ExecutionPlan.validate().  Here we only mirror the fact into
+        # the observation stream, where the obs bus is in reach.
         obs = kwargs.get("obs")
         if obs is not None:
             from ..obs.events import FastForward
@@ -358,6 +406,72 @@ def _reap(pids: list[int], kill: bool) -> None:
 # ----------------------------------------------------------------------
 # The window protocol (driven from EMX.run)
 # ----------------------------------------------------------------------
+#: Active window protocol: "adaptive" (per-pair lookahead matrix,
+#: coalesced windows — the default) or "scalar" (the legacy fixed-length
+#: global windows, kept for comparison).  Module-level on purpose: it is
+#: read inside the forked shard workers, which inherit it at fork time.
+_PROTOCOLS = ("adaptive", "scalar")
+_window_protocol = "adaptive"
+
+
+@contextlib.contextmanager
+def window_protocol(name: str):
+    """Scope the window protocol for sharded runs started inside.
+
+    Must wrap the *call* that starts the run (``repro.run(...)``):
+    workers fork inside it and inherit the setting.  Both protocols
+    simulate the identical machine — they differ only in how many
+    barriers pace it — so this is a benchmarking/diagnostics knob, not
+    a semantics switch.
+    """
+    if name not in _PROTOCOLS:
+        raise SimulationError(
+            f"unknown window protocol {name!r}; expected one of {_PROTOCOLS}"
+        )
+    global _window_protocol
+    previous = _window_protocol
+    _window_protocol = name
+    try:
+        yield
+    finally:
+        _window_protocol = previous
+
+
+def _earliest_affect(na: list, matrix) -> list:
+    """Relax per-shard next-work bounds over the lookahead matrix.
+
+    ``na[j]`` is the earliest cycle shard *j* fires anything on its own
+    (local queue, pending arrivals, or an egress record addressed to it
+    this round).  The fixed point
+
+        ``ea[j] = min(na[j], min_{k != j}(ea[k] + matrix[k][j]))``
+
+    additionally admits *chains*: shard *k* may be woken early by a
+    third shard and then inject toward *j*, so a direct single-hop bound
+    would be unsound.  Bellman–Ford over the K shards; K - 1 passes
+    reach the fixed point (the longest useful chain visits each shard
+    once), usually far fewer.
+    """
+    count = len(na)
+    ea = list(na)
+    for _ in range(count - 1):
+        changed = False
+        for j in range(count):
+            best = ea[j]
+            for k in range(count):
+                if k == j or ea[k] is _INF:
+                    continue
+                cand = ea[k] + matrix[k][j]
+                if cand < best:
+                    best = cand
+            if best < ea[j]:
+                ea[j] = best
+                changed = True
+        if not changed:
+            break
+    return ea
+
+
 def run_windowed(machine, until: int | None = None):
     """Advance a sharded machine in conservative windows to completion.
 
@@ -370,7 +484,27 @@ def run_windowed(machine, until: int | None = None):
     engine = machine.engine
     net = machine.network
     engine.quiescence_watcher = None  # stuck work is judged globally, post-gather
-    L = net.lookahead
+    spec = ctx.spec
+    me = spec.index
+    count = spec.count
+    protocol = _window_protocol
+    matrix = net.pair_lookahead
+    scalar_l = net.lookahead
+    # dst PE -> owning shard, for folding egress arrivals into na[].
+    shard_of = []
+    for index, (lo, hi) in enumerate(spec.bounds):
+        shard_of.extend([index] * (hi - lo))
+    wstats = {
+        "protocol": protocol,
+        "rounds": 0,
+        "coalesced": 0,
+        "idle_windows": 0,
+        "barrier_wall_seconds": 0.0,
+        "log": [],
+    }
+    wlog = wstats["log"]
+    perf = time.perf_counter
+    prev_horizon: int | None = None
     try:
         while True:
             qnext = engine.queue.peek_time()
@@ -378,17 +512,28 @@ def run_windowed(machine, until: int | None = None):
             local_next = qnext if pnext is None else (
                 pnext if qnext is None else min(qnext, pnext)
             )
+            t0 = perf()
             replies = exchange.window_barrier(("w", net.take_egress(), local_next))
-            global_next = _INF
-            for _, egress, peer_next in replies:
-                if peer_next is not None and peer_next < global_next:
-                    global_next = peer_next
+            barrier_dt = perf() - t0
+            wstats["barrier_wall_seconds"] += barrier_dt
+            # Everyone sees the identical replies, so every shard
+            # derives the identical na/ea vectors — no second exchange.
+            na = [_INF] * count
+            for index, (_, egress, peer_next) in enumerate(replies):
+                if peer_next is not None and peer_next < na[index]:
+                    na[index] = peer_next
                 for record in egress:
-                    if record[0] < global_next:
-                        global_next = record[0]
+                    dst_shard = shard_of[record[5]]
+                    if record[0] < na[dst_shard]:
+                        na[dst_shard] = record[0]
             for index, (_, egress, _) in enumerate(replies):
-                if index != ctx.spec.index and egress:
+                if index != me and egress:
                     net.add_ingress(egress)
+            if protocol == "adaptive" and count > 1:
+                ea = _earliest_affect(na, matrix)
+            else:
+                ea = na
+            global_next = min(ea)
             if global_next is _INF:
                 break
             start = int(global_next)
@@ -397,20 +542,35 @@ def run_windowed(machine, until: int | None = None):
                     f"simulation exceeded max_cycles={engine.max_cycles} "
                     f"(next event at {start}); runaway guest program?"
                 )
-            horizon = start + L - 1
-            if until is not None:
-                if start > until:
-                    break
-                horizon = min(horizon, until)
-            net.push_drains(start, horizon + 1)
+            if until is not None and start > until:
+                break
+            if protocol == "scalar":
+                horizon = start + scalar_l - 1
+            elif count > 1:
+                horizon = min(
+                    ea[k] + matrix[k][me] for k in range(count) if k != me
+                ) - 1
+            else:
+                horizon = until  # K = 1: nothing to synchronise with
+            if until is not None and (horizon is None or horizon > until):
+                horizon = until
+            wstats["rounds"] += 1
+            if prev_horizon is not None and start > prev_horizon + 1:
+                wstats["coalesced"] += 1
+            if na[me] is _INF or (horizon is not None and na[me] > horizon):
+                wstats["idle_windows"] += 1
+            fired_before = engine.events_fired
             engine.run(until=horizon)
+            end = engine.now if horizon is None else horizon
+            wlog.append((start, end, barrier_dt, engine.events_fired - fired_before))
+            prev_horizon = end
     except _RemoteShardError as exc:
         raise _rehydrate(exc) from None
     except BaseException as exc:
         exchange.broadcast_error(exc)
         raise
     try:
-        blobs = exchange.gather_to_root(_gather_blob(machine))
+        blobs = exchange.gather_to_root(_gather_blob(machine, wstats))
     except _RemoteShardError as exc:
         raise _rehydrate(exc) from None
     if blobs is None:
@@ -418,7 +578,7 @@ def run_windowed(machine, until: int | None = None):
     return _finalize(machine, blobs)
 
 
-def _gather_blob(machine) -> dict:
+def _gather_blob(machine, window_stats: dict) -> dict:
     """Everything one shard contributes to the merged report."""
     spec = machine.shard.spec
     owned = [p for p in machine.pes if spec.owns(p.pe)]
@@ -430,10 +590,11 @@ def _gather_blob(machine) -> dict:
         "stats": machine.network.stats,
         "born": machine.network.born_counts,
         "arrive": machine.network.arrival_counts,
-        "events": machine.engine.events_fired - machine.network.drains_fired,
+        "events": machine.engine.events_fired - machine.network.ticks_fired,
         "obs": log.events if log is not None else None,
         "seq_map": machine.network.seq_map if log is not None else {},
         "stuck": machine._stuck_report(),
+        "windows": window_stats,
     }
 
 
@@ -471,6 +632,7 @@ def _finalize(machine, blobs: list[dict]):
         emit = real_bus.emit
         for event in merged:
             emit(event)
+    windows = _windows_section(machine, blobs, real_bus)
     runtime = max((p.counters.last_active for p in machine.pes), default=0)
     for proc in machine.pes:
         proc.counters.check_accounting()
@@ -481,4 +643,61 @@ def _finalize(machine, blobs: list[dict]):
         counters=[p.counters for p in machine.pes],
         network=machine.network.stats,
         traces=machine.traces() if machine.config.trace else None,
+        windows=windows,
     )
+
+
+def _windows_section(machine, blobs: list[dict], real_bus) -> dict:
+    """Barrier/window diagnostics for ``MachineReport.windows``.
+
+    Round and coalesce counts are identical on every shard (derived
+    from the identical barrier replies), so the coordinator's copy
+    stands for the fleet; barrier wall time and idle windows are
+    genuinely per shard.  Also emits one SHARD-category
+    :class:`~repro.obs.events.ShardWindow` per (shard, window) into the
+    outer bus — subscribers must opt into the category, which keeps the
+    default observation stream K-invariant.
+    """
+    net = machine.network
+    own = blobs[machine.shard.spec.index]["windows"]
+    matrix = net.pair_lookahead
+    if matrix is not None and len(matrix) > 1:
+        off_diag = [
+            matrix[i][j]
+            for i in range(len(matrix))
+            for j in range(len(matrix))
+            if i != j
+        ]
+        look_min, look_max = min(off_diag), max(off_diag)
+    else:
+        look_min = look_max = net.lookahead
+    section = {
+        "protocol": own["protocol"],
+        "shards": len(blobs),
+        "count": own["rounds"],
+        "coalesced": own["coalesced"],
+        "lookahead_min": look_min,
+        "lookahead_max": look_max,
+        "per_shard": [
+            {
+                "windows": len(blob["windows"]["log"]),
+                "idle_windows": blob["windows"]["idle_windows"],
+                "barrier_wall_seconds": round(
+                    blob["windows"]["barrier_wall_seconds"], 6
+                ),
+            }
+            for blob in blobs
+        ],
+    }
+    if real_bus is not None:
+        from ..obs.events import ShardWindow
+
+        slices = sorted(
+            (start, end, shard, barrier_dt, fired)
+            for shard, blob in enumerate(blobs)
+            for start, end, barrier_dt, fired in blob["windows"]["log"]
+        )
+        emit = real_bus.emit
+        for start, end, shard, barrier_dt, fired in slices:
+            emit(ShardWindow(start, end, shard, round(barrier_dt * 1e6, 1), fired))
+    return section

@@ -1,0 +1,304 @@
+"""ExecutionPlan: the one bundle of execution-strategy knobs.
+
+Covers the frozen dataclass itself (parse/describe/validate and the
+centralised mode-combination rules), the ``plan=`` plumbing through
+``repro.run``, ``JobSpec``, the runner options and the CLI, the legacy
+keyword shims (one DeprecationWarning, same behaviour, same cache
+keys), and the SHARD-category observability the sharded engine emits.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro import ExecutionPlan, MachineConfig
+from repro.errors import PlanCompatibilityWarning, PlanError
+from repro.metrics.serialize import report_to_dict
+from repro.obs import Category, EventBus, RingRecorder, ShardWindow
+from repro.obs.perfetto import to_perfetto, validate_perfetto
+
+
+# ----------------------------------------------------------------------
+# The dataclass: parse, describe, validate
+# ----------------------------------------------------------------------
+def test_default_plan_is_sequential_detailed_interpreted():
+    plan = ExecutionPlan()
+    assert (plan.shards, plan.fidelity, plan.compiled) == (0, "detailed", False)
+    assert plan.validate() is plan
+
+
+def test_plan_is_frozen_and_hashable():
+    plan = ExecutionPlan(shards=4)
+    with pytest.raises(Exception):
+        plan.shards = 2  # type: ignore[misc]
+    assert hash(plan) == hash(ExecutionPlan(shards=4))
+    assert plan != ExecutionPlan(shards=2)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("", ExecutionPlan()),
+        ("shards=4", ExecutionPlan(shards=4)),
+        ("shards=2,compiled", ExecutionPlan(shards=2, compiled=True)),
+        ("compiled=false", ExecutionPlan()),
+        ("fidelity=hybrid", ExecutionPlan(fidelity="hybrid")),
+    ],
+)
+def test_parse_accepts_cli_spellings(text, expected):
+    assert ExecutionPlan.parse(text) == expected
+
+
+@pytest.mark.parametrize(
+    "text,match",
+    [
+        ("shards=four", "shards must be an int"),
+        ("turbo", "malformed plan token"),
+        ("speed=11", "unknown plan key"),
+        ("fidelity=turbo", "unknown fidelity"),
+        ("compiled=maybe", "compiled must be a boolean"),
+        ("shards=-2", "non-negative"),
+    ],
+)
+def test_parse_rejects_malformed_plans(text, match):
+    with pytest.raises(PlanError, match=match):
+        ExecutionPlan.parse(text)
+
+
+@pytest.mark.parametrize(
+    "plan",
+    [
+        ExecutionPlan(),
+        ExecutionPlan(shards=4),
+        ExecutionPlan(fidelity="hybrid"),
+        ExecutionPlan(shards=2, compiled=True),
+    ],
+)
+def test_describe_parse_round_trip(plan):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert ExecutionPlan.parse(plan.describe()) == plan
+
+
+def test_validate_rejects_bad_field_types():
+    with pytest.raises(PlanError, match="non-negative"):
+        ExecutionPlan(shards=-1).validate()
+    with pytest.raises(PlanError, match="unknown fidelity"):
+        ExecutionPlan(fidelity="fast").validate()
+    with pytest.raises(PlanError, match="compiled must be a bool"):
+        ExecutionPlan(compiled="yes").validate()  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Centralised mode-combination rules
+# ----------------------------------------------------------------------
+def test_hybrid_under_shards_warns_once():
+    with pytest.warns(PlanCompatibilityWarning, match="hybrid.*disabled under shards"):
+        ExecutionPlan(shards=2, fidelity="hybrid").validate()
+
+
+def test_plan_warning_is_a_runtime_warning():
+    # Callers filtering on the historical RuntimeWarning still match.
+    with pytest.warns(RuntimeWarning):
+        ExecutionPlan(shards=2, fidelity="hybrid").validate()
+
+
+def test_hybrid_config_under_sharded_plan_warns_and_runs():
+    """The warning fires even when hybrid arrives via the machine
+    config rather than the plan — validate() sees the effective plan."""
+    cfg = MachineConfig(n_pes=8, fidelity="hybrid")
+    with pytest.warns(PlanCompatibilityWarning, match="disabled under shards"):
+        report = repro.run(
+            "sort", n=128, n_pes=8, h=2, config=cfg, plan=ExecutionPlan(shards=2)
+        )
+    base = repro.run("sort", n=128, n_pes=8, h=2, plan=ExecutionPlan(shards=2))
+    assert report_to_dict(report) == report_to_dict(base)
+
+
+def test_strict_cohorts_without_compiled_warns():
+    from repro.compile import strict_cohorts
+
+    with strict_cohorts():
+        with pytest.warns(PlanCompatibilityWarning, match="compiled=False"):
+            ExecutionPlan().validate()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ExecutionPlan(compiled=True).validate()  # no warning
+
+
+# ----------------------------------------------------------------------
+# repro.run(plan=) and the legacy keyword shim
+# ----------------------------------------------------------------------
+def test_run_plan_matches_legacy_shards_keyword():
+    planned = repro.run("sort", n=128, n_pes=8, h=2, plan=ExecutionPlan(shards=2))
+    with pytest.warns(DeprecationWarning, match="shards=.*deprecated"):
+        legacy = repro.run("sort", n=128, n_pes=8, h=2, shards=2)
+    assert report_to_dict(planned) == report_to_dict(legacy)
+
+
+def test_run_plan_compiled_matches_legacy_compiled_keyword():
+    planned = repro.run("sort", n=32, n_pes=4, h=1, plan=ExecutionPlan(compiled=True))
+    with pytest.warns(DeprecationWarning, match="compiled=.*deprecated"):
+        legacy = repro.run("sort", n=32, n_pes=4, h=1, compiled=True)
+    assert planned.cohort is not None
+    assert report_to_dict(planned) == report_to_dict(legacy)
+
+
+def test_run_rejects_plan_plus_legacy_keywords():
+    with pytest.raises(PlanError, match="not both"):
+        repro.run(
+            "sort", n=32, n_pes=4, h=1, plan=ExecutionPlan(shards=2), shards=2
+        )
+
+
+# ----------------------------------------------------------------------
+# JobSpec and RunnerOptions integration
+# ----------------------------------------------------------------------
+def test_jobspec_plan_is_the_same_spec_as_legacy_fields():
+    from repro.runner import JobSpec
+
+    planned = JobSpec(
+        app="sort", n_pes=8, npp=16, h=2, plan=ExecutionPlan(shards=2)
+    )
+    legacy = JobSpec(app="sort", n_pes=8, npp=16, h=2, shards=2)
+    assert planned == legacy
+    assert planned.key() == legacy.key()
+    assert planned.describe() == legacy.describe()
+    assert planned.execution_plan == ExecutionPlan(shards=2)
+
+
+def test_jobspec_rejects_plan_plus_legacy_fields():
+    from repro.runner import JobSpec
+
+    with pytest.raises(PlanError, match="not both"):
+        JobSpec(app="sort", n_pes=8, npp=16, h=2, shards=2,
+                plan=ExecutionPlan(shards=2))
+
+
+def test_jobspec_replace_does_not_resurrect_the_plan():
+    from dataclasses import replace
+
+    from repro.runner import JobSpec
+
+    spec = JobSpec(app="sort", n_pes=8, npp=16, h=2, plan=ExecutionPlan(shards=2))
+    bumped = replace(spec, h=4)
+    assert bumped.shards == 2 and bumped.h == 4
+
+
+def test_runner_using_accepts_plan(tmp_path):
+    from repro.runner import using
+    from repro.runner.sweep import get_options
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        with using(cache_dir=str(tmp_path), plan=ExecutionPlan(shards=2)):
+            opts = get_options()
+            assert opts.shards == 2
+            assert opts.plan == ExecutionPlan(shards=2)
+
+
+def test_runner_legacy_fields_deprecated(tmp_path):
+    from repro.runner import using
+
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        with using(cache_dir=str(tmp_path), shards=2):
+            pass
+
+
+# ----------------------------------------------------------------------
+# CLI: --plan, legacy flag shims
+# ----------------------------------------------------------------------
+def test_cli_plan_flag_runs_and_prints_window_summary(capsys):
+    from repro.__main__ import main
+
+    main(["sort", "--pes", "8", "--size", "128", "--threads", "2",
+          "--plan", "shards=2"])
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "window protocol: adaptive" in out
+
+
+def test_cli_plan_conflicts_with_legacy_flags():
+    from repro.__main__ import main
+
+    with pytest.raises(PlanError, match="--plan cannot be combined"):
+        main(["sort", "--pes", "8", "--size", "128", "--threads", "2",
+              "--plan", "shards=2", "--shards", "2"])
+
+
+def test_cli_legacy_shards_flag_still_works_with_warning(capsys):
+    from repro.__main__ import main
+
+    with pytest.warns(DeprecationWarning, match="--shards is deprecated"):
+        main(["sort", "--pes", "8", "--size", "128", "--threads", "2",
+              "--shards", "2"])
+    assert "OK" in capsys.readouterr().out
+
+
+def test_cli_help_advertises_plan():
+    from repro.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["sort", "--help"])
+
+
+# ----------------------------------------------------------------------
+# SHARD-category observability
+# ----------------------------------------------------------------------
+def _sharded_events(categories):
+    bus = EventBus()
+    recorder = RingRecorder(bus, capacity=500_000, categories=categories)
+    report = repro.run(
+        "sort", n=128, n_pes=8, h=2, plan=ExecutionPlan(shards=2), obs=bus
+    )
+    return report, recorder.events
+
+
+def test_default_subscriptions_exclude_shard_windows():
+    _, events = _sharded_events(None)
+    assert not any(type(ev) is ShardWindow for ev in events)
+
+
+def test_opt_in_subscription_sees_one_event_per_shard_window():
+    report, events = _sharded_events([Category.SHARD])
+    windows = [ev for ev in events if type(ev) is ShardWindow]
+    assert windows and len(events) == len(windows)
+    # One event per (shard, window), matching the report's accounting.
+    per_shard = report.windows["per_shard"]
+    assert len(windows) == sum(per["windows"] for per in per_shard)
+    assert {ev.shard for ev in windows} == {0, 1}
+    assert all(ev.end >= ev.t and ev.category is Category.SHARD for ev in windows)
+
+
+def test_perfetto_renders_the_shard_track():
+    _, events = _sharded_events([Category.SHARD, Category.PACKET])
+    trace = to_perfetto(events, n_pes=8)
+    assert validate_perfetto(trace) == []
+    names = {
+        ev["args"]["name"]
+        for ev in trace["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "process_name"
+    }
+    assert "shards" in names
+    slices = [ev for ev in trace["traceEvents"] if ev.get("cat") == "shard"]
+    assert slices
+    assert all(ev["ph"] == "X" and ev["dur"] >= 0 for ev in slices)
+    assert {ev["args"]["shard"] for ev in slices} == {0, 1}
+
+
+def test_shard_events_do_not_disturb_default_perfetto_identity():
+    """Default recordings (no SHARD opt-in) stay byte-identical across
+    K — the new track is invisible unless asked for."""
+    exports = []
+    for k in (1, 2):
+        bus = EventBus()
+        recorder = RingRecorder(bus, capacity=500_000)
+        repro.run("fft", n=128, n_pes=8, h=2, plan=ExecutionPlan(shards=k), obs=bus)
+        exports.append(
+            json.dumps(to_perfetto(recorder.events, n_pes=8), sort_keys=True)
+        )
+    assert exports[0] == exports[1]

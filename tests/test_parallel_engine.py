@@ -196,14 +196,11 @@ def test_sharded_network_matches_legacy_on_conflict_free_traffic(model):
     for pe in range(n_pes):
         net.attach(pe, sink_for(pe))
     pairs = [(s, d) for s in range(n_pes) for d in range(n_pes) if s != d]
-    horizon = 0
     for i, (src, dst) in enumerate(pairs):
         when = i * 1000
         sent_at[(src, dst)] = when
         pkt = Packet(kind=PacketKind.READ_REQ, src=src, dst=dst, data=None)
         engine.schedule_at(when, net.send, pkt)
-        horizon = when
-    net.push_drains(0, horizon + 1000)
     engine.run()
     assert latencies == _probe_latencies(n_pes, model)
 
