@@ -453,6 +453,10 @@ def _cmd_app(args: argparse.Namespace) -> None:
             from .metrics.report import format_windows
 
             print(format_windows(report.windows))
+        if report.cohort is not None:
+            from .metrics.report import format_cohort
+
+            print(format_cohort(report.cohort))
     if args.timeline:
         from .trace import render_timeline
 

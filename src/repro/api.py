@@ -180,6 +180,11 @@ class ExecutionPlan:
 
         * ``fidelity="hybrid"`` with ``shards=K`` — the sharded engine
           always simulates at detailed fidelity (metrics unaffected);
+        * ``compiled=True`` with ``fidelity="hybrid"`` — supported, but
+          a fast-forward miss reruns the app at detailed fidelity and
+          the cohort compiler repeats its trace/record work on the
+          rerun (metrics unaffected; cohort diagnostics describe the
+          run that produced the returned report);
         * strict cohort validation (:func:`repro.compile.strict_cohorts`)
           active without ``compiled=True`` — nothing to validate.
         """
@@ -196,6 +201,15 @@ class ExecutionPlan:
                 f"fidelity='hybrid' is disabled under shards={self.shards}: the "
                 "sharded engine always simulates at detailed fidelity (metrics "
                 "are unaffected; drop shards= to get fast-forward)",
+                PlanCompatibilityWarning,
+                stacklevel=2,
+            )
+        if self.compiled and self.fidelity == "hybrid":
+            warnings.warn(
+                "compiled=True with fidelity='hybrid': a fast-forward miss "
+                "reruns the app at detailed fidelity, repeating the cohort "
+                "compiler's trace/record work (metrics are unaffected; cohort "
+                "diagnostics describe the run that produced the report)",
                 PlanCompatibilityWarning,
                 stacklevel=2,
             )

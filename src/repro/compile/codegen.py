@@ -28,6 +28,8 @@ from typing import Callable
 from ..core.effects import (
     BarrierWait,
     Compute,
+    FusedRead,
+    FusedReadPair,
     RemoteRead,
     RemoteReadPair,
     RemoteWrite,
@@ -118,6 +120,8 @@ class _CodeGen:
         #: exec-globals: helpers, effect types, and env host objects.
         self.globals: dict[str, object] = {
             "Compute": Compute,
+            "FusedRead": FusedRead,
+            "FusedReadPair": FusedReadPair,
             "RemoteRead": RemoteRead,
             "RemoteReadPair": RemoteReadPair,
             "RemoteWrite": RemoteWrite,
@@ -370,23 +374,79 @@ class _CodeGen:
             self.w(f"yield Spawn(int({args[0]}), {args[1]}, {rest})")
             return "0"
 
-        self.flush()
         if name == "rread":
             need(2)
-            x = pe_check(args[0])
+            # Fuse a pending compute charge into the read packet.  The
+            # conversions are probed first: on any failure the charge
+            # still flushes as its own Compute before the unfused path
+            # re-raises the identical error (the interpreter's order).
+            self.spill()
+            a = self.tmp()
+            x = self.tmp()
             t = self.tmp()
-            self.w(f"{t} = yield RemoteRead(GlobalAddress({x}, int({args[1]})))")
+            self.w(f"{a} = None")
+            self.w("if _p:")
+            self.w("    try:")
+            self.w(f"        {x} = int({args[0]})")
+            self.w(f"        if 0 <= {x} < _npes:")
+            self.w(f"            {a} = GlobalAddress({x}, int({args[1]}))")
+            self.w("    except Exception:")
+            self.w(f"        {a} = None")
+            self.w(f"if {a} is not None:")
+            self.w(f"    {t} = yield FusedRead(_p, {a})")
+            self.w("    _p = 0")
+            self.w("else:")
+            self.w("    if _p:")
+            self.w("        _e = _cg(_p)")
+            self.w("        if _e is None:")
+            self.w("            _e = _cc[_p] = Compute(_p)")
+            self.w("        yield _e")
+            self.w("        _p = 0")
+            self.w(f"    {x} = int({args[0]})")
+            self.w(f"    if not 0 <= {x} < _npes:")
+            self.w(
+                f'        raise ProgramError("global address names PE %d of %d" % ({x}, _npes))'
+            )
+            self.w(f"    {t} = yield RemoteRead(GlobalAddress({x}, int({args[1]})))")
             return t
         if name == "rread2":
             need(3)
-            x = pe_check(args[0])
+            self.spill()
+            a = self.tmp()
+            b = self.tmp()
+            x = self.tmp()
             t = self.tmp()
+            self.w(f"{a} = {b} = None")
+            self.w("if _p:")
+            self.w("    try:")
+            self.w(f"        {x} = int({args[0]})")
+            self.w(f"        if 0 <= {x} < _npes:")
+            self.w(f"            {a} = GlobalAddress({x}, int({args[1]}))")
+            self.w(f"            {b} = GlobalAddress({x}, int({args[2]}))")
+            self.w("    except Exception:")
+            self.w(f"        {a} = None")
+            self.w(f"if {a} is not None and {b} is not None:")
+            self.w(f"    {t} = yield FusedReadPair(_p, {a}, {b})")
+            self.w("    _p = 0")
+            self.w("else:")
+            self.w("    if _p:")
+            self.w("        _e = _cg(_p)")
+            self.w("        if _e is None:")
+            self.w("            _e = _cc[_p] = Compute(_p)")
+            self.w("        yield _e")
+            self.w("        _p = 0")
+            self.w(f"    {x} = int({args[0]})")
+            self.w(f"    if not 0 <= {x} < _npes:")
             self.w(
-                f"{t} = yield RemoteReadPair(GlobalAddress({x}, int({args[1]})),"
+                f'        raise ProgramError("global address names PE %d of %d" % ({x}, _npes))'
+            )
+            self.w(
+                f"    {t} = yield RemoteReadPair(GlobalAddress({x}, int({args[1]})),"
                 f" GlobalAddress({x}, int({args[2]})))"
             )
             self.w(f"{t} = list({t})")
             return t
+        self.flush()
         if name == "rblock":
             need(3)
             t = self.tmp()

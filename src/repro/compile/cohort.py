@@ -40,9 +40,23 @@ event.  With ``strict`` set (the differential harness does this), a
 divergence raises :class:`~repro.errors.CompileDivergence` carrying
 the first-divergent-effect diagnosis instead.
 
-Threads carrying a call continuation, threads whose shape the recorder
-declines, and shapes that keep failing to record fall back to the
-interpreter per-thread — never per-run.
+**Live-traced threads.**  Shapes the pure recorder declines — native
+app workers touching ``ctx.state``/``ctx.mem`` — go to the live tier
+(:mod:`repro.compile.live`): a representative runs for real while its
+loads, branch outcomes, host calls, and effects are recorded into a
+:class:`~repro.compile.live.LiveTrace`; on later *runs* same-shape
+threads replay the trace through a generated stepper.  Generator
+instantiation is *deferred*: ``instantiate`` returns a lazy wrapper
+and the real tier decision for every thread created so far happens at
+the first advance, so whatever part of a spawn burst is pending gets
+admitted in one batch (numpy-masked when the burst is wide; in
+practice admission is dominated by the cross-run ``(pe, args)`` memo,
+which re-admits each deterministic member for the cost of one trace's
+guards).
+
+Threads carrying a call continuation, threads no tier can record, and
+shapes that keep failing to record fall back to the interpreter
+per-thread — never per-run.
 """
 
 from __future__ import annotations
@@ -53,6 +67,16 @@ from typing import Any, Callable
 from ..errors import CompileDivergence
 from ..obs.events import CohortEvent
 from .codegen import codegen_thread
+from . import live as _live
+from .live import (
+    LiveCohort,
+    assign_traces_memo,
+    lookup_traces,
+    register_trace,
+    replay_member,
+    replay_validated_live,
+    run_tracer,
+)
 from .lower_emc import LoweringError, lower_thread
 from .recorder import (
     RecordedTrace,
@@ -132,6 +156,23 @@ class Cohort:
         self.bailouts = 0
 
 
+class _Pending:
+    """One deferred generator thread awaiting its tier decision."""
+
+    __slots__ = ("func", "ctx", "args", "fallback", "inner", "live_tr", "P")
+
+    def __init__(self, func, ctx, args, fallback) -> None:
+        self.func = func
+        self.ctx = ctx
+        self.args = args
+        #: The real guest generator, built eagerly so creation-time
+        #: errors (and non-generator bodies) keep interpreter timing.
+        self.fallback = fallback
+        self.inner = None  # resolved generator, set by _resolve_pending
+        self.live_tr = None  # batch-assigned LiveTrace, if any
+        self.P: tuple = ()  # its operand-table row
+
+
 class CohortManager:
     """Per-machine compile cache, cohort table, and statistics."""
 
@@ -147,6 +188,12 @@ class CohortManager:
         # Generator cohorts: (func, n_args) -> [Cohort, ...]
         self._cohorts: dict[tuple, list[Cohort]] = {}
         self._record_failures: dict[tuple, int] = {}
+        # Live tier state:
+        self._pending: list[_Pending] = []
+        self._pure_declined: set[tuple] = set()
+        self._live_cohorts: dict[int, LiveCohort] = {}
+        self._live_attempts: dict[tuple, int] = {}
+        self._live_successes: dict[tuple, int] = {}
         # Counters (reported via summary()):
         self.emc_codegen_threads = 0
         self.emc_trace_threads = 0
@@ -154,8 +201,13 @@ class CohortManager:
         self.gen_compiled_threads = 0
         self.gen_interpreted_threads = 0
         self.gen_validated_threads = 0
+        self.gen_traced_threads = 0
+        self.gen_replayed_threads = 0
         self.records = 0
         self.record_failures = 0
+        self.record_failure_reasons: dict[str, int] = {}
+        self.live_traces = 0
+        self.replay_divergences = 0
         self.bailouts = 0
         self.compiled_effects = 0
         self.guards_checked = 0
@@ -216,30 +268,141 @@ class CohortManager:
     # Generator front-end: record, match, replay
     # ------------------------------------------------------------------
     def _gen_instantiate(self, func, ctx, args):
-        key = (func, len(args))
-        if self._record_failures.get(key, 0) >= _MAX_RECORD_FAILURES:
+        fallback = func(ctx, *args)
+        if not hasattr(fallback, "send"):
+            # Plain-function "thread": already fully executed, exactly
+            # as the interpreter path would have.
             self.gen_interpreted_threads += 1
-            return func(ctx, *args)
+            return fallback
+        entry = _Pending(func, ctx, args, fallback)
+        self._pending.append(entry)
+        return self._deferred(entry)
+
+    def _deferred(self, entry: _Pending):
+        # Generator: nothing runs until the EXU's first advance, by
+        # which point every thread of the spawn burst is pending and
+        # live-trace admission can run batched over all of them.
+        if entry.inner is None:
+            self._resolve_pending()
+        yield from entry.inner
+
+    def _resolve_pending(self) -> None:
+        while self._pending:
+            pending, self._pending = self._pending, []
+            self._batch_live_assign(pending)
+            for entry in pending:
+                if entry.inner is None:
+                    entry.inner = self._resolve_one(entry)
+
+    def _batch_live_assign(self, pending: list) -> None:
+        """Vectorized admission of the burst against registered traces."""
+        by_key: dict[tuple, list[_Pending]] = {}
+        for entry in pending:
+            by_key.setdefault((entry.func, len(entry.args)), []).append(entry)
+        for (func, n_args), group in by_key.items():
+            traces = lookup_traces(func, n_args)
+            if not traces:
+                continue
+            members = [(e.ctx.pe, e.ctx.n_pes, e.args, e.ctx.state) for e in group]
+            assigned, checked = assign_traces_memo(func, traces, members)
+            self.guards_checked += checked
+            # One operand-table evaluation per trace over its members.
+            per_trace: dict[int, list[_Pending]] = {}
+            for entry, tr in zip(group, assigned):
+                if tr is not None:
+                    entry.live_tr = tr
+                    per_trace.setdefault(id(tr), []).append(entry)
+            for sub in per_trace.values():
+                tr = sub[0].live_tr
+                rows = tr.param_table([(e.ctx.pe, e.args) for e in sub], sub[0].ctx.n_pes)
+                for entry, row in zip(sub, rows):
+                    entry.P = row
+
+    def _resolve_one(self, entry: _Pending):
+        func, ctx, args = entry.func, entry.ctx, entry.args
+        key = (func, len(args))
+        # 1. Existing pure cohorts.
         cohorts = self._cohorts.setdefault(key, [])
         for cohort in cohorts:
             trace = cohort.trace
             self.guards_checked += len(trace.static_guards)
             if trace.admits(ctx.pe, ctx.n_pes, args):
                 return self._join(cohort, ctx, args)
-        try:
-            trace = record_thread(func, ctx.pe, ctx.n_pes, args)
-        except RecordingUnsupported as exc:
+        # 2. Pure symbolic recording (free of state/host dependence).
+        if key not in self._pure_declined:
+            try:
+                trace = record_thread(func, ctx.pe, ctx.n_pes, args)
+            except RecordingUnsupported:
+                # Not a failure: the live tier below handles it.
+                self._pure_declined.add(key)
+            else:
+                cohort = Cohort(trace, func)
+                cohorts.append(cohort)
+                self.records += 1
+                self._emit("record", ctx.pe, trace.func_name, trace.n_effects)
+                return self._join(cohort, ctx, args)
+        # 3. Registered live trace admitted for this member (batched).
+        if entry.live_tr is not None:
+            return self._join_live(entry.live_tr, ctx, args, entry.P)
+        # 4. Record a new live trace, budget permitting.
+        if self._can_trace(key, bool(lookup_traces(func, len(args)))):
+            self._live_attempts[key] = self._live_attempts.get(key, 0) + 1
+            return self._trace_live(func, ctx, args, key)
+        # 5. Interpreter.
+        self.gen_interpreted_threads += 1
+        return entry.fallback
+
+    def _can_trace(self, key: tuple, proven: bool) -> bool:
+        """Trace budget: two cold attempts per run; once the function is
+        *proven* traceable (a registered trace exists, or one landed this
+        run) every unadmitted member records its own shape."""
+        if self._record_failures.get(key, 0) >= _MAX_RECORD_FAILURES:
+            return False
+        if proven or self._live_successes.get(key, 0) > 0:
+            return True
+        return self._live_attempts.get(key, 0) < 2
+
+    def _trace_live(self, func, ctx, args, key: tuple):
+        name = getattr(func, "__name__", "?")
+
+        def on_abort(exc) -> None:
             n = self._record_failures.get(key, 0) + 1
             self._record_failures[key] = n
             self.record_failures += 1
+            reason = getattr(exc, "reason", "other")
+            self.record_failure_reasons[reason] = (
+                self.record_failure_reasons.get(reason, 0) + 1
+            )
             self.gen_interpreted_threads += 1
-            self._emit("record_bail", ctx.pe, getattr(func, "__name__", "?"), n)
-            return func(ctx, *args)
-        cohort = Cohort(trace, func)
-        cohorts.append(cohort)
-        self.records += 1
-        self._emit("record", ctx.pe, trace.func_name, trace.n_effects)
-        return self._join(cohort, ctx, args)
+            self._emit("record_bail", ctx.pe, name, n)
+
+        def on_trace(trace) -> None:
+            self.gen_traced_threads += 1
+            self._live_successes[key] = self._live_successes.get(key, 0) + 1
+            if register_trace(trace):
+                self.live_traces += 1
+            self._emit("trace", ctx.pe, trace.func_name, trace.n_effects)
+
+        return run_tracer(func, ctx, args, on_abort, on_trace)
+
+    def _join_live(self, trace, ctx, args, P):
+        lc = self._live_cohorts.get(id(trace))
+        if lc is None:
+            lc = LiveCohort(trace)
+            self._live_cohorts[id(trace)] = lc
+        index = trace.n_members
+        trace.n_members += 1
+        lc.members += 1
+        self.gen_replayed_threads += 1
+        # Cross-run sampling: the trace's first-ever replay (the traced
+        # representative is member 0), then every VALIDATE_STRIDE-th,
+        # replays in lockstep with a real shadow.  Every member always
+        # re-checks the data-dependent guards inline.
+        if index % VALIDATE_STRIDE == 1:
+            lc.validated += 1
+            self.gen_validated_threads += 1
+            return replay_validated_live(trace, lc, ctx, args, P, self)
+        return replay_member(trace, ctx, args, P, self)
 
     def _join(self, cohort: Cohort, ctx, args):
         index = cohort.members
@@ -368,9 +531,13 @@ class CohortManager:
             self.emc_codegen_threads
             + self.emc_trace_threads
             + self.gen_compiled_threads
+            + self.gen_traced_threads
+            + self.gen_replayed_threads
         )
         total = compiled + self.emc_interp_threads + self.gen_interpreted_threads
         cohorts = [c for cs in self._cohorts.values() for c in cs]
+        members = [c.members for c in cohorts]
+        members.extend(lc.members for lc in self._live_cohorts.values())
         return {
             "emc_codegen_threads": self.emc_codegen_threads,
             "emc_trace_threads": self.emc_trace_threads,
@@ -378,12 +545,18 @@ class CohortManager:
             "gen_compiled_threads": self.gen_compiled_threads,
             "gen_interpreted_threads": self.gen_interpreted_threads,
             "gen_validated_threads": self.gen_validated_threads,
-            "cohorts": len(cohorts),
-            "max_cohort_members": max((c.members for c in cohorts), default=0),
+            "gen_traced_threads": self.gen_traced_threads,
+            "gen_replayed_threads": self.gen_replayed_threads,
+            "cohorts": len(cohorts) + len(self._live_cohorts),
+            "max_cohort_members": max(members, default=0),
             "records": self.records,
             "record_failures": self.record_failures,
+            "record_failure_reasons": dict(self.record_failure_reasons),
+            "live_traces": self.live_traces,
+            "replay_divergences": self.replay_divergences,
             "bailouts": self.bailouts,
             "compiled_effects": self.compiled_effects,
             "guards_checked": self.guards_checked,
+            "numpy": _live.HAVE_NUMPY,
             "occupancy": (compiled / total) if total else 0.0,
         }

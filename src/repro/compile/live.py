@@ -1,0 +1,1627 @@
+"""Live-tracing tier of the cohort compiler (data-dependent recording).
+
+The pure symbolic recorder (:mod:`repro.compile.recorder`) refuses any
+thread that touches ``ctx.state``/``ctx.mem`` or computes on a resume
+value — which is every native app worker.  This module records such
+threads *live*: the representative's real generator runs to completion
+doing its real work, wrapped so that every state read is captured as a
+positional ``load`` op, every branch outcome as a ``guard``, every
+``ctx.host`` call as an opaque ``host`` op whose concrete result is
+memoized, and every effect as a parameterized ``eff`` op.  The result
+is a :class:`LiveTrace` — a straight-line program over SSA slots that
+later same-shape threads replay through a generated Python generator
+(one ``yield`` per effect, adjacent compute+read pairs fused into
+:class:`~repro.core.effects.FusedRead`) instead of resuming the guest
+frame.
+
+Replay re-checks every data-dependent guard against the member's live
+state; the first mismatch hands the thread to :func:`catch_up`, which
+re-executes the guest from the top against the memoized loads/hosts/
+resumes — mutations are *not* re-applied, memo queues serve them — and
+then yields the residual effects live.  Divergence therefore never
+changes observable behaviour; it only costs the replayed prefix again.
+
+Admission is split by guard class:
+
+* **class 1** — guards over ``pe``/``n_pes``/``args`` only: checked at
+  admission (vectorized over the member batch with numpy when
+  available) and *skipped* in the generated replay.
+* **class 2** — guards whose slots resolve through load chains rooted
+  at ``ctx.state``: evaluated per member against creation-time state as
+  a heuristic, and still replay-checked.  Expressions the trace itself
+  saw with conflicting outcomes (a loop flag flipping) are excluded.
+* **class 3** — guards touching host results or resume values: replay
+  checked only.
+
+Traces live in a cross-run registry keyed weakly by function, so warm
+runs skip re-tracing entirely; :func:`clear_registry` restores a cold
+start for benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import deque
+from typing import Any, Callable
+
+from ..core.effects import (
+    BarrierWait,
+    Compute,
+    FusedRead,
+    FusedReadPair,
+    RemoteRead,
+    RemoteReadBlock,
+    RemoteReadPair,
+    RemoteWrite,
+    RemoteWriteBlock,
+    SwitchNow,
+    TokenAdvance,
+    TokenWait,
+)
+from .recorder import (
+    _BIN_FNS,
+    _CMP_FNS,
+    RecordingUnsupported,
+    _Sym,
+    _SymGA,
+    _SymInt,
+)
+
+try:  # pragma: no cover - exercised via the no-numpy fallback test
+    import numpy as np
+
+    HAVE_NUMPY = True
+except Exception:  # pragma: no cover
+    np = None
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY",
+    "LiveTrace",
+    "catch_up",
+    "clear_registry",
+    "lookup_traces",
+    "register_trace",
+    "run_tracer",
+    "assign_traces",
+    "assign_traces_memo",
+]
+
+#: Hard cap on live trace length (the whole thread body, loops unrolled).
+MAX_LIVE_OPS = 65536
+
+#: Hard cap on registered traces per (function, arity) shape.
+MAX_TRACES_PER_KEY = 512
+
+#: Class-1 guards beyond this many are left replay-checked instead of
+#: joining the admission set (keeps admission itself cheap).
+MAX_ADMISSION_GUARDS = 96
+
+#: Suspending effect constructors (resume value arrives at the yield).
+_SUSPENDING = frozenset(
+    {"read", "read_pair", "read_block", "barrier_wait", "token_wait", "switch"}
+)
+
+_EFFECT_CLASSES = {
+    "compute": Compute,
+    "read": RemoteRead,
+    "read_pair": RemoteReadPair,
+    "read_block": RemoteReadBlock,
+    "write": RemoteWrite,
+    "write_block": RemoteWriteBlock,
+    "barrier_wait": BarrierWait,
+    "token_wait": TokenWait,
+    "token_advance": TokenAdvance,
+    "switch": SwitchNow,
+}
+
+#: Resumes that are protocol ``None`` (no data flows back into the body).
+_NONE_RESUMES = frozenset({"barrier_wait", "token_wait", "switch"})
+
+
+class _Memo:
+    """Concrete values observed while tracing/replaying one thread.
+
+    ``catch_up`` consumes these as FIFO queues so a re-executed guest
+    prefix sees exactly the values the traced run saw, without
+    re-applying host mutations or re-issuing effects.
+    """
+
+    __slots__ = ("loads", "hosts", "resumes")
+
+    def __init__(self) -> None:
+        self.loads: deque = deque()
+        self.hosts: deque = deque()
+        self.resumes: deque = deque()
+
+
+# ----------------------------------------------------------------------
+# Expression helpers
+#
+# Leaves: ('const',v) ('arg',i) ('pe',) ('npes',) ('slot',k) ('st',) ('mem',)
+# Inner:  ('bin',op,a,b) ('neg',a) ('cmp',op,a,b) ('truth',a) ('ga',a,b)
+#         ('list',(e,..)) ('tup',(e,..)) ('item',base,key) ('attr',base,name)
+#         ('len',base) ('none',e) ('param',j)
+# ----------------------------------------------------------------------
+
+
+def _to_live_expr(value: Any) -> tuple:
+    if isinstance(value, _Sym):
+        return value._e
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return ("const", value)
+    if isinstance(value, tuple):
+        return ("tup", tuple(_to_live_expr(v) for v in value))
+    if isinstance(value, list):
+        return ("list", tuple(_to_live_expr(v) for v in value))
+    raise RecordingUnsupported(
+        f"cannot parameterize live operand {type(value).__name__}",
+        reason="operand",
+    )
+
+
+def _deep_conc(value: Any):
+    """Strip tracing wrappers recursively (for real calls/constructors).
+
+    Only exact ``list``/``tuple`` containers are rebuilt — NamedTuples
+    like :class:`~repro.packet.address.GlobalAddress` must keep their
+    type.
+    """
+    if isinstance(value, _Sym):
+        return value._c
+    if type(value) is list:
+        return [_deep_conc(v) for v in value]
+    if type(value) is tuple:
+        return tuple(_deep_conc(v) for v in value)
+    return value
+
+
+def _leaves(expr: tuple, out: set) -> set:
+    tag = expr[0]
+    if tag in ("const", "arg", "pe", "npes", "slot", "st", "mem", "param"):
+        out.add(tag)
+    elif tag in ("neg", "truth", "len", "none"):
+        _leaves(expr[1], out)
+    elif tag in ("bin", "cmp"):
+        _leaves(expr[2], out)
+        _leaves(expr[3], out)
+    elif tag == "ga":
+        _leaves(expr[1], out)
+        _leaves(expr[2], out)
+    elif tag in ("list", "tup"):
+        for e in expr[1]:
+            _leaves(e, out)
+    elif tag == "item":
+        _leaves(expr[1], out)
+        _leaves(expr[2], out)
+    elif tag == "attr":
+        _leaves(expr[1], out)
+    else:  # pragma: no cover
+        raise AssertionError(f"unknown expr tag {tag!r}")
+    return out
+
+
+def _is_static(expr: tuple) -> bool:
+    """Does the expression depend only on (pe, n_pes, args, consts)?"""
+    return _leaves(expr, set()) <= {"const", "arg", "pe", "npes"}
+
+
+# ----------------------------------------------------------------------
+# Tracked values (live flavour)
+# ----------------------------------------------------------------------
+
+
+def _live_abort(op_name: str, reason: str):
+    def method(self, *args, **kwargs):
+        raise RecordingUnsupported(
+            f"{op_name} on a live-traced {type(self._c).__name__} value",
+            reason=reason,
+        )
+
+    method.__name__ = op_name
+    return method
+
+
+class _LiveVal(_Sym):
+    """A live-traced non-int value: reads record loads, branches guard."""
+
+    __slots__ = ()
+
+    def _cmp(self, op, other):
+        if isinstance(other, _Sym):
+            oc, oe = other._c, other._e
+        else:
+            oc, oe = other, ("const", other)
+        try:
+            outcome = _CMP_FNS[op](self._c, oc)
+        except Exception as exc:
+            raise RecordingUnsupported(
+                f"comparison failed while tracing: {exc!r}", reason="operand"
+            ) from None
+        if not isinstance(outcome, bool):
+            raise RecordingUnsupported("non-bool comparison", reason="operand")
+        self._rec.guard(("cmp", op, self._e, oe), outcome)
+        return outcome
+
+    def __eq__(self, other):
+        return self._cmp("eq", other)
+
+    def __ne__(self, other):
+        return self._cmp("ne", other)
+
+    def __lt__(self, other):
+        return self._cmp("lt", other)
+
+    def __le__(self, other):
+        return self._cmp("le", other)
+
+    def __gt__(self, other):
+        return self._cmp("gt", other)
+
+    def __ge__(self, other):
+        return self._cmp("ge", other)
+
+    def __bool__(self):
+        outcome = bool(self._c)
+        self._rec.guard(("truth", self._e), outcome)
+        return outcome
+
+    def __len__(self):
+        n = len(self._c)
+        self._rec.guard(("cmp", "eq", ("len", self._e), ("const", n)), True)
+        return n
+
+    def __getitem__(self, key):
+        if isinstance(key, _Sym):
+            kc, ke = key._c, key._e
+        else:
+            kc, ke = key, ("const", key)
+        try:
+            value = self._c[kc]
+        except Exception as exc:
+            raise RecordingUnsupported(
+                f"subscript failed while tracing: {exc!r}", reason="operand"
+            ) from None
+        return self._rec.load_value(value, ("item", self._e, ke))
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            c = object.__getattribute__(self, "_c")
+            rec = object.__getattribute__(self, "_rec")
+            e = object.__getattribute__(self, "_e")
+        except AttributeError:
+            raise AttributeError(name) from None
+        try:
+            value = getattr(c, name)
+        except AttributeError:
+            raise RecordingUnsupported(
+                f"missing attribute {name!r} while tracing", reason="operand"
+            ) from None
+        return rec.load_value(value, ("attr", e, name))
+
+    def __iter__(self):
+        c = self._c
+        if not isinstance(c, (list, tuple)):
+            raise RecordingUnsupported(
+                "iteration over a live-traced non-sequence", reason="operand"
+            )
+        n = len(c)
+        self._rec.guard(("cmp", "eq", ("len", self._e), ("const", n)), True)
+        return iter(
+            [
+                self._rec.load_value(c[i], ("item", self._e, ("const", i)))
+                for i in range(n)
+            ]
+        )
+
+
+for _name, _reason in (
+    ("__setitem__", "state-write"),
+    ("__delitem__", "state-write"),
+    ("__call__", "call"),
+    ("__hash__", "operand"),
+    ("__contains__", "operand"),
+    ("__add__", "operand"),
+    ("__radd__", "operand"),
+    ("__sub__", "operand"),
+    ("__rsub__", "operand"),
+    ("__mul__", "operand"),
+    ("__rmul__", "operand"),
+    ("__truediv__", "operand"),
+    ("__rtruediv__", "operand"),
+    ("__floordiv__", "operand"),
+    ("__rfloordiv__", "operand"),
+    ("__mod__", "operand"),
+    ("__rmod__", "operand"),
+    ("__lshift__", "operand"),
+    ("__rlshift__", "operand"),
+    ("__rshift__", "operand"),
+    ("__rrshift__", "operand"),
+    ("__and__", "operand"),
+    ("__rand__", "operand"),
+    ("__or__", "operand"),
+    ("__ror__", "operand"),
+    ("__xor__", "operand"),
+    ("__rxor__", "operand"),
+    ("__pow__", "operand"),
+    ("__rpow__", "operand"),
+    ("__neg__", "operand"),
+    ("__pos__", "operand"),
+    ("__abs__", "operand"),
+    ("__invert__", "operand"),
+    ("__index__", "operand"),
+    ("__str__", "operand"),
+    ("__format__", "operand"),
+):
+    setattr(_LiveVal, _name, _live_abort(_name, _reason))
+del _name, _reason
+
+
+def _wrap(rec, value, expr):
+    """Wrap a concrete value for the guest: ints track, the rest trace."""
+    if isinstance(value, bool):
+        return _LiveVal(value, expr, rec)
+    if isinstance(value, int):
+        return _SymInt(value, expr, rec)
+    return _LiveVal(value, expr, rec)
+
+
+# ----------------------------------------------------------------------
+# The live recorder and its ThreadCtx stand-in
+# ----------------------------------------------------------------------
+
+
+class _LiveRecorder:
+    __slots__ = (
+        "ops",
+        "n_slots",
+        "host_fns",
+        "n_effects",
+        "memo",
+        "last_effect_obj",
+        "last_eff",
+    )
+
+    def __init__(self) -> None:
+        self.ops: list = []
+        self.n_slots = 0
+        self.host_fns: list = []
+        self.n_effects = 0
+        self.memo = _Memo()
+        self.last_effect_obj = None
+        self.last_eff: tuple | None = None  # (method, dst, suspends)
+
+    def _grow(self) -> None:
+        if len(self.ops) >= MAX_LIVE_OPS:
+            raise RecordingUnsupported(
+                f"live trace longer than {MAX_LIVE_OPS} ops", reason="trace-cap"
+            )
+
+    def guard(self, expr: tuple, outcome) -> None:
+        self._grow()
+        self.ops.append(("guard", expr, outcome))
+
+    def load_value(self, value, src_expr: tuple):
+        """Record a state load into a fresh slot; return the wrapped value."""
+        self._grow()
+        k = self.n_slots
+        self.n_slots += 1
+        self.ops.append(("load", k, src_expr))
+        self.memo.loads.append(value)
+        e = ("slot", k)
+        if value is None:
+            self.guard(("none", e), True)
+            return None
+        return _wrap(self, value, e)
+
+    def host_call(self, fn, arg_exprs: tuple, result):
+        self._grow()
+        try:
+            j = self.host_fns.index(fn)
+        except ValueError:
+            j = len(self.host_fns)
+            self.host_fns.append(fn)
+        k = self.n_slots
+        self.n_slots += 1
+        self.ops.append(("host", k, j, tuple(arg_exprs)))
+        self.memo.hosts.append(result)
+        e = ("slot", k)
+        if result is None:
+            self.guard(("none", e), True)
+            return None
+        return _wrap(self, result, e)
+
+    def effect(self, method: str, operand_exprs: tuple, suspends: bool) -> int:
+        self._grow()
+        if suspends:
+            dst = self.n_slots
+            self.n_slots += 1
+        else:
+            dst = -1
+        self.ops.append(("eff", method, tuple(operand_exprs), suspends, dst))
+        self.n_effects += 1
+        return dst
+
+
+class _LiveCtx:
+    """A ``ThreadCtx`` stand-in that records *and* executes for real."""
+
+    __slots__ = ("_rec", "_real", "pe", "n_pes")
+
+    def __init__(self, rec: _LiveRecorder, real_ctx) -> None:
+        self._rec = rec
+        self._real = real_ctx
+        self.pe = _SymInt(real_ctx.pe, ("pe",), rec)
+        self.n_pes = _SymInt(real_ctx.n_pes, ("npes",), rec)
+
+    @property
+    def mem(self):
+        return _LiveVal(self._real.mem, ("mem",), self._rec)
+
+    @property
+    def state(self):
+        return _LiveVal(self._real.state, ("st",), self._rec)
+
+    @property
+    def tid(self):
+        raise RecordingUnsupported("thread touches ctx.tid", reason="tid")
+
+    def ga(self, pe, offset):
+        pe_e = _to_live_expr(pe)
+        off_e = _to_live_expr(offset)
+        # Build the REAL address: an out-of-bounds PE raises the real
+        # ProgramError inside the guest, exactly as the interpreter.
+        real = self._real.ga(_deep_conc(pe), _deep_conc(offset))
+        return _SymGA(real, ("ga", pe_e, off_e), self._rec)
+
+    def host(self, fn, *args):
+        if isinstance(fn, _Sym):
+            raise RecordingUnsupported(
+                "host function is itself a traced value", reason="hostcall"
+            )
+        exprs = tuple(_to_live_expr(a) for a in args)
+        result = fn(*[_deep_conc(a) for a in args])
+        return self._rec.host_call(fn, exprs, result)
+
+    # -- effect constructors --------------------------------------------
+    def _eff(self, method: str, operands: tuple):
+        rec = self._rec
+        exprs = tuple(_to_live_expr(v) for v in operands)
+        real = getattr(self._real, method)(*[_deep_conc(v) for v in operands])
+        suspends = method in _SUSPENDING
+        dst = rec.effect(method, exprs, suspends)
+        rec.last_effect_obj = real
+        rec.last_eff = (method, dst, suspends)
+        return real
+
+    def compute(self, cycles):
+        return self._eff("compute", (cycles,))
+
+    def read(self, addr):
+        return self._eff("read", (addr,))
+
+    def read_pair(self, addr_a, addr_b):
+        return self._eff("read_pair", (addr_a, addr_b))
+
+    def read_block(self, addr, count):
+        return self._eff("read_block", (addr, count))
+
+    def write(self, addr, value):
+        return self._eff("write", (addr, value))
+
+    def write_block(self, addr, values):
+        return self._eff("write_block", (addr, values))
+
+    def barrier_wait(self, barrier):
+        return self._eff("barrier_wait", (barrier,))
+
+    def token_wait(self, token, seq):
+        return self._eff("token_wait", (token, seq))
+
+    def token_advance(self, token):
+        return self._eff("token_advance", (token,))
+
+    def switch(self):
+        return self._eff("switch", ())
+
+    def spawn(self, pe, func, *args):
+        raise RecordingUnsupported(
+            "spawn inside a live-traced thread", reason="unsupported-effect"
+        )
+
+    def call(self, pe, func, *args):
+        raise RecordingUnsupported(
+            "call inside a live-traced thread", reason="unsupported-effect"
+        )
+
+    def reply(self, continuation, value):
+        raise RecordingUnsupported(
+            "reply inside a live-traced thread", reason="unsupported-effect"
+        )
+
+
+# ----------------------------------------------------------------------
+# The tracer drive loop (this generator IS the thread)
+# ----------------------------------------------------------------------
+
+
+def _wrap_resume(rec: _LiveRecorder, method: str, dst: int, value):
+    rec.memo.resumes.append(value)
+    if method in _NONE_RESUMES:
+        return None
+    e = ("slot", dst)
+    if value is None:
+        rec.guard(("none", e), True)
+        return None
+    return _wrap(rec, value, e)
+
+
+def run_tracer(func: Callable, ctx, args: tuple, on_abort, on_trace):
+    """Run ``func`` for real while recording a :class:`LiveTrace`.
+
+    Returns the generator the EXU drives.  ``on_abort(exc)`` fires if
+    recording bails (the thread itself still completes correctly, via
+    catch-up or passthrough); ``on_trace(trace)`` fires on success.
+    """
+    rec = _LiveRecorder()
+    lctx = _LiveCtx(rec, ctx)
+    sym_args = tuple(
+        _SymInt(a, ("arg", i), rec)
+        if isinstance(a, int) and not isinstance(a, bool)
+        else _LiveVal(a, ("arg", i), rec)
+        for i, a in enumerate(args)
+    )
+
+    def driver():
+        try:
+            gen = func(lctx, *sym_args)
+        except RecordingUnsupported as exc:
+            on_abort(exc)
+            yield from func(ctx, *args)
+            return
+        if not hasattr(gen, "send"):
+            on_abort(RecordingUnsupported("not a generator", reason="other"))
+            return
+        send = None
+        n_sent = 0
+        while True:
+            try:
+                yielded = gen.send(send)
+            except StopIteration:
+                break
+            except RecordingUnsupported as exc:
+                # Flavour A: a wrapper aborted inside the guest frame
+                # (before applying the faulting op).  The generator is
+                # dead; re-execute against the memo and carry on live.
+                on_abort(exc)
+                yield from catch_up(func, ctx, args, rec.memo, n_sent)
+                return
+            last = rec.last_effect_obj
+            rec.last_effect_obj = None
+            if yielded is not last:
+                # Flavour B: the body yielded something it did not just
+                # build via this ctx.  The generator is alive — forward
+                # the foreign object and fall through to passthrough.
+                on_abort(
+                    RecordingUnsupported(
+                        "yield of a non-ctx-constructed effect",
+                        reason="foreign-yield",
+                    )
+                )
+                send = yield yielded
+                while True:
+                    try:
+                        yielded = gen.send(send)
+                    except StopIteration:
+                        return
+                    send = yield yielded
+            method, dst, suspends = rec.last_eff
+            value = yield yielded
+            n_sent += 1
+            if suspends:
+                send = _wrap_resume(rec, method, dst, value)
+            else:
+                send = None
+        on_trace(_finalize(rec, func, len(args)))
+
+    return driver()
+
+
+# ----------------------------------------------------------------------
+# LiveTrace: finalize, admission, generated replay
+# ----------------------------------------------------------------------
+
+
+class LiveTrace:
+    """One straight-line traced thread shape, replayable per member."""
+
+    __slots__ = (
+        "func",
+        "func_name",
+        "n_args",
+        "ops",
+        "host_fns",
+        "n_slots",
+        "n_effects",
+        "admission",
+        "class2",
+        "skip_set",
+        "arg_pins",
+        "yields_before",
+        "params",
+        "n_members",
+        "_replay_fn",
+    )
+
+    def __init__(self, func, n_args, ops, host_fns, n_slots, n_effects):
+        self.func = func
+        self.func_name = getattr(func, "__name__", "?")
+        self.n_args = n_args
+        self.ops = ops
+        self.host_fns = host_fns
+        self.n_slots = n_slots
+        self.n_effects = n_effects
+        self.admission: tuple = ()  # ((expr, outcome), ...) class-1, deduped
+        self.class2: tuple = ()  # ((subst_expr, outcome), ...)
+        self.skip_set: frozenset = frozenset()
+        self.arg_pins: dict = {}  # arg index -> pinned const
+        self.yields_before: tuple = ()
+        self.params: tuple = ()  # static operand subtrees -> P columns
+        #: Cross-run member count; the representative is member 0, so
+        #: the first-ever replay locksteps against a real shadow and
+        #: later ones are sampled every VALIDATE_STRIDE.
+        self.n_members = 1
+        self._replay_fn = None
+
+    # -- admission -------------------------------------------------------
+    def admits(self, pe: int, n_pes: int, args: tuple, state) -> bool:
+        """Scalar admission: class-1 guards, then class-2 heuristics."""
+        if len(args) != self.n_args:
+            return False
+        try:
+            for expr, outcome in self.admission:
+                if _eval_scalar(expr, pe, n_pes, args, None, None, state, None, None) != outcome:
+                    return False
+            for expr, outcome in self.class2:
+                if _eval_scalar(expr, pe, n_pes, args, None, None, state, None, None) != outcome:
+                    return False
+        except Exception:
+            return False
+        return True
+
+    def admits_class2(self, pe: int, n_pes: int, args: tuple, state) -> bool:
+        try:
+            for expr, outcome in self.class2:
+                if _eval_scalar(expr, pe, n_pes, args, None, None, state, None, None) != outcome:
+                    return False
+        except Exception:
+            return False
+        return True
+
+    def diverge(self, ctx, A, M, op_idx, mgr):
+        """Replay guard mismatch: silent hand-off to catch-up."""
+        mgr.replay_divergences += 1
+        mgr._emit("catchup", ctx.pe, self.func_name, op_idx)
+        return catch_up(self.func, ctx, tuple(A), M, self.yields_before[op_idx])
+
+    def replay_fn(self):
+        if self._replay_fn is None:
+            self._replay_fn = _codegen_replay(self)
+        return self._replay_fn
+
+    def param_row(self, pe: int, n_pes: int, args: tuple) -> tuple:
+        """Scalar fallback: one member's static operand row."""
+        return tuple(
+            _eval_scalar(e, pe, n_pes, args, None, None, None, None, None)
+            for e in self.params
+        )
+
+    def param_table(self, members, n_pes: int) -> list:
+        """Vectorized operand table: one row per member, one column per
+        static operand, evaluated with numpy over the whole batch.
+        ``members`` is a list of ``(pe, args)``.  Values come back as
+        Python ints (``tolist``), never numpy scalars."""
+        if not self.params:
+            return [()] * len(members)
+        if not HAVE_NUMPY or len(members) < 2:
+            return [self.param_row(pe, n_pes, args) for pe, args in members]
+        try:
+            pes = np.array([m[0] for m in members], dtype=np.int64)
+            argcols = [
+                np.array([m[1][i] for m in members], dtype=np.int64)
+                for i in range(self.n_args)
+            ]
+            cols = []
+            for e in self.params:
+                v = _vec_eval(e, pes, argcols, n_pes)
+                if hasattr(v, "tolist"):
+                    cols.append(v.tolist())
+                else:
+                    cols.append([v] * len(members))
+            return [tuple(c[i] for c in cols) for i in range(len(members))]
+        except Exception:
+            return [self.param_row(pe, n_pes, args) for pe, args in members]
+
+
+def _canon_guard(op) -> tuple:
+    return (op[1], op[2])
+
+
+def _finalize(rec: _LiveRecorder, func, n_args: int) -> LiveTrace:
+    ops = tuple(rec.ops)
+    trace = LiveTrace(func, n_args, ops, list(rec.host_fns), rec.n_slots, rec.n_effects)
+
+    # Slot definitions for class-2 substitution: slot -> defining expr
+    # (loads only; host/resume slots are not substitutable).
+    defs: dict[int, tuple] = {}
+    for op in ops:
+        if op[0] == "load":
+            defs[op[1]] = op[2]
+
+    def subst(e: tuple):
+        """Rewrite slot refs through load chains; None if not possible."""
+        tag = e[0]
+        if tag == "slot":
+            d = defs.get(e[1])
+            return subst(d) if d is not None else None
+        if tag in ("const", "arg", "pe", "npes", "st", "mem"):
+            return e
+        if tag in ("neg", "truth", "len", "none"):
+            inner = subst(e[1])
+            return None if inner is None else (tag, inner)
+        if tag in ("bin", "cmp"):
+            a, b = subst(e[2]), subst(e[3])
+            return None if a is None or b is None else (tag, e[1], a, b)
+        if tag == "item":
+            a, b = subst(e[1]), subst(e[2])
+            return None if a is None or b is None else (tag, a, b)
+        if tag == "attr":
+            a = subst(e[1])
+            return None if a is None else (tag, a, e[2])
+        if tag in ("list", "tup"):
+            parts = tuple(subst(x) for x in e[1])
+            return None if any(p is None for p in parts) else (tag, parts)
+        if tag == "ga":
+            a, b = subst(e[1]), subst(e[2])
+            return None if a is None or b is None else (tag, a, b)
+        return None
+
+    admission: list = []
+    seen_adm: set = set()
+    class2: dict = {}
+    conflicted: set = set()
+    skip: set = set()
+    arg_pins: dict = {}
+    for idx, op in enumerate(ops):
+        if op[0] != "guard":
+            continue
+        expr, outcome = op[1], op[2]
+        if _is_static(expr):
+            key = (expr, outcome)
+            if key in seen_adm:
+                skip.add(idx)
+            elif len(admission) < MAX_ADMISSION_GUARDS:
+                admission.append(key)
+                seen_adm.add(key)
+                skip.add(idx)
+                if (
+                    expr[0] == "cmp"
+                    and expr[1] == "eq"
+                    and outcome is True
+                    and expr[2][0] == "arg"
+                    and expr[3][0] == "const"
+                ):
+                    arg_pins[expr[2][1]] = expr[3][1]
+            continue
+        leaves = _leaves(expr, set())
+        if "mem" in leaves:
+            continue  # memory-rooted loads: replay-check only
+        sub = subst(expr)
+        if sub is None or not (_leaves(sub, set()) <= {"const", "arg", "pe", "npes", "st"}):
+            continue  # class 3: replay-check only
+        if sub in class2 and class2[sub] != outcome:
+            conflicted.add(sub)
+        else:
+            class2[sub] = outcome
+    trace.admission = tuple(admission)
+    trace.class2 = tuple(
+        (e, o) for e, o in class2.items() if e not in conflicted
+    )
+    trace.skip_set = frozenset(skip)
+    trace.arg_pins = arg_pins
+
+    yields_before = []
+    n = 0
+    for op in ops:
+        yields_before.append(n)
+        if op[0] == "eff":
+            n += 1
+    trace.yields_before = tuple(yields_before)
+
+    # Flat operand tables: hoist every maximal static (pe/args-only)
+    # non-leaf subtree of the ops into a ``('param', j)`` column.  At
+    # join time the columns are evaluated for the whole admitted batch
+    # in one vectorized pass (numpy) and each member replays against
+    # its own row.
+    params: list = []
+    pidx: dict = {}
+
+    def rewrite(e: tuple) -> tuple:
+        tag = e[0]
+        if tag in ("const", "pe", "npes", "arg", "st", "mem", "slot", "param"):
+            return e
+        if tag == "ga":
+            # Never hoisted whole: ctx.ga re-runs the PE bounds check
+            # per member, and the table evaluator has no ga binding.
+            return (tag, rewrite(e[1]), rewrite(e[2]))
+        if _is_static(e):
+            j = pidx.get(e)
+            if j is None:
+                j = pidx[e] = len(params)
+                params.append(e)
+            return ("param", j)
+        if tag in ("neg", "truth", "len", "none"):
+            return (tag, rewrite(e[1]))
+        if tag in ("bin", "cmp"):
+            return (tag, e[1], rewrite(e[2]), rewrite(e[3]))
+        if tag in ("ga", "item"):
+            return (tag, rewrite(e[1]), rewrite(e[2]))
+        if tag == "attr":
+            return (tag, rewrite(e[1]), e[2])
+        if tag in ("list", "tup"):
+            return (tag, tuple(rewrite(x) for x in e[1]))
+        return e
+
+    new_ops: list = []
+    for op in ops:
+        if op[0] == "load":
+            new_ops.append((op[0], op[1], rewrite(op[2])))
+        elif op[0] == "guard":
+            new_ops.append((op[0], rewrite(op[1]), op[2]))
+        elif op[0] == "host":
+            new_ops.append((op[0], op[1], op[2], tuple(rewrite(a) for a in op[3])))
+        else:
+            new_ops.append(
+                (op[0], op[1], tuple(rewrite(a) for a in op[2]), op[3], op[4])
+            )
+    trace.ops = tuple(new_ops)
+    trace.params = tuple(params)
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Scalar and vectorized expression evaluation
+# ----------------------------------------------------------------------
+
+
+def _eval_scalar(e, pe, n_pes, args, S, P, st, mem, ga):
+    tag = e[0]
+    if tag == "const":
+        return e[1]
+    if tag == "slot":
+        return S[e[1]]
+    if tag == "param":
+        return P[e[1]]
+    if tag == "arg":
+        return args[e[1]]
+    if tag == "pe":
+        return pe
+    if tag == "npes":
+        return n_pes
+    if tag == "st":
+        return st
+    if tag == "mem":
+        return mem
+    if tag == "bin":
+        return _BIN_FNS[e[1]](
+            _eval_scalar(e[2], pe, n_pes, args, S, P, st, mem, ga),
+            _eval_scalar(e[3], pe, n_pes, args, S, P, st, mem, ga),
+        )
+    if tag == "cmp":
+        return _CMP_FNS[e[1]](
+            _eval_scalar(e[2], pe, n_pes, args, S, P, st, mem, ga),
+            _eval_scalar(e[3], pe, n_pes, args, S, P, st, mem, ga),
+        )
+    if tag == "neg":
+        return -_eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga)
+    if tag == "truth":
+        return bool(_eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga))
+    if tag == "ga":
+        return ga(
+            _eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga),
+            _eval_scalar(e[2], pe, n_pes, args, S, P, st, mem, ga),
+        )
+    if tag == "item":
+        return _eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga)[
+            _eval_scalar(e[2], pe, n_pes, args, S, P, st, mem, ga)
+        ]
+    if tag == "attr":
+        return getattr(_eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga), e[2])
+    if tag == "len":
+        return len(_eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga))
+    if tag == "none":
+        return _eval_scalar(e[1], pe, n_pes, args, S, P, st, mem, ga) is None
+    if tag == "list":
+        return [_eval_scalar(x, pe, n_pes, args, S, P, st, mem, ga) for x in e[1]]
+    if tag == "tup":
+        return tuple(_eval_scalar(x, pe, n_pes, args, S, P, st, mem, ga) for x in e[1])
+    raise AssertionError(f"unknown expr tag {tag!r}")
+
+
+def _vec_eval(e, pes, argcols, n_pes):
+    """Vectorized class-1 evaluation over member columns (numpy)."""
+    tag = e[0]
+    if tag == "const":
+        return e[1]
+    if tag == "pe":
+        return pes
+    if tag == "npes":
+        return n_pes
+    if tag == "arg":
+        return argcols[e[1]]
+    if tag == "bin":
+        a = _vec_eval(e[2], pes, argcols, n_pes)
+        b = _vec_eval(e[3], pes, argcols, n_pes)
+        op = e[1]
+        if op == "min":
+            return np.minimum(a, b)
+        if op == "max":
+            return np.maximum(a, b)
+        return _BIN_FNS[op](a, b)
+    if tag == "neg":
+        return -_vec_eval(e[1], pes, argcols, n_pes)
+    if tag == "cmp":
+        return _CMP_FNS[e[1]](
+            _vec_eval(e[2], pes, argcols, n_pes),
+            _vec_eval(e[3], pes, argcols, n_pes),
+        )
+    if tag == "truth":
+        v = _vec_eval(e[1], pes, argcols, n_pes)
+        return v.astype(bool) if hasattr(v, "astype") else bool(v)
+    raise LookupError(f"non-vectorizable expr {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# Generated replay (whole-trace Python codegen)
+# ----------------------------------------------------------------------
+
+_BIN_SRC = {
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "floordiv": "//",
+    "mod": "%",
+    "lshift": "<<",
+    "rshift": ">>",
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "pow": "**",
+}
+
+_CMP_SRC = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+
+
+def _esrc(e) -> str:
+    tag = e[0]
+    if tag == "const":
+        return repr(e[1])
+    if tag == "pe":
+        return "_pe"
+    if tag == "npes":
+        return "_npes"
+    if tag == "arg":
+        return f"A[{e[1]}]"
+    if tag == "slot":
+        return f"S[{e[1]}]"
+    if tag == "param":
+        return f"P[{e[1]}]"
+    if tag == "st":
+        return "_st"
+    if tag == "mem":
+        return "_mem"
+    if tag == "bin":
+        sym = _BIN_SRC.get(e[1])
+        a, b = _esrc(e[2]), _esrc(e[3])
+        if sym is not None:
+            return f"({a} {sym} {b})"
+        return f"{e[1]}({a}, {b})"  # min / max
+    if tag == "neg":
+        return f"(-{_esrc(e[1])})"
+    if tag == "cmp":
+        return f"({_esrc(e[2])} {_CMP_SRC[e[1]]} {_esrc(e[3])})"
+    if tag == "truth":
+        return f"bool({_esrc(e[1])})"
+    if tag == "ga":
+        return f"_ga({_esrc(e[1])}, {_esrc(e[2])})"
+    if tag == "item":
+        return f"{_esrc(e[1])}[{_esrc(e[2])}]"
+    if tag == "attr":
+        return f"{_esrc(e[1])}.{e[2]}"
+    if tag == "len":
+        return f"len({_esrc(e[1])})"
+    if tag == "none":
+        return f"({_esrc(e[1])} is None)"
+    if tag == "list":
+        return "[" + ", ".join(_esrc(x) for x in e[1]) + "]"
+    if tag == "tup":
+        parts = [_esrc(x) for x in e[1]]
+        if len(parts) == 1:
+            return f"({parts[0]},)"
+        return "(" + ", ".join(parts) + ")"
+    raise AssertionError(f"unknown expr tag {tag!r}")
+
+
+_CTOR_VARS = {
+    "read": "_R",
+    "read_pair": "_RP",
+    "read_block": "_RB",
+    "write": "_W",
+    "barrier_wait": "_BW",
+    "token_wait": "_TW",
+    "token_advance": "_TA",
+    "switch": "_SW",
+}
+
+
+def _codegen_replay(trace: LiveTrace):
+    src: list = []
+    emit = src.append
+    emit("def _replay(ctx, A, P, M, mgr):")
+    emit("    _pe = ctx.pe; _npes = ctx.n_pes; _st = ctx.state; _mem = ctx.mem; _ga = ctx.ga")
+    emit(f"    S = [None] * {trace.n_slots}")
+    emit("    ML = M.loads.append; MH = M.hosts.append; MR = M.resumes.append")
+    emit("    if False: yield")
+    ops = trace.ops
+    skip = trace.skip_set
+    consts: dict = {}
+    const_list: list = []
+    i = 0
+    n_ops = len(ops)
+    while i < n_ops:
+        op = ops[i]
+        tag = op[0]
+        if tag == "load":
+            emit(f"    S[{op[1]}] = {_esrc(op[2])}; ML(S[{op[1]}])")
+        elif tag == "guard":
+            if i not in skip:
+                cond = _esrc(op[1])
+                emit(f"    if not {cond}:" if op[2] else f"    if {cond}:")
+                emit(f"        return (yield from TR.diverge(ctx, A, M, {i}, mgr))")
+        elif tag == "host":
+            args_src = ", ".join(_esrc(a) for a in op[3])
+            emit(f"    S[{op[1]}] = F[{op[2]}]({args_src}); MH(S[{op[1]}])")
+        else:  # eff
+            method, exprs, suspends, dst = op[1], op[2], op[3], op[4]
+            nxt = ops[i + 1] if i + 1 < n_ops else None
+            if (
+                method == "compute"
+                and nxt is not None
+                and nxt[0] == "eff"
+                and nxt[1] in ("read", "read_pair")
+            ):
+                # Fuse the adjacent compute + remote read into one yield.
+                cyc = _esrc(exprs[0])
+                if nxt[1] == "read":
+                    ctor = f"_FR({cyc}, {_esrc(nxt[2][0])})"
+                else:
+                    ctor = f"_FRP({cyc}, {_esrc(nxt[2][0])}, {_esrc(nxt[2][1])})"
+                d = nxt[4]
+                emit(f"    S[{d}] = yield {ctor}; MR(S[{d}])")
+                i += 2
+                continue
+            if method == "compute":
+                e = exprs[0]
+                if e[0] == "const":
+                    j = consts.get(e[1])
+                    if j is None:
+                        j = consts[e[1]] = len(const_list)
+                        const_list.append(Compute(e[1]))
+                    emit(f"    yield C[{j}]")
+                else:
+                    emit(f"    yield _C({_esrc(e)})")
+            elif method == "write_block":
+                emit(
+                    f"    yield _WB({_esrc(exprs[0])}, tuple({_esrc(exprs[1])}))"
+                )
+            else:
+                var = _CTOR_VARS[method]
+                call = f"{var}({', '.join(_esrc(x) for x in exprs)})"
+                if suspends:
+                    emit(f"    S[{dst}] = yield {call}; MR(S[{dst}])")
+                else:
+                    emit(f"    yield {call}")
+        i += 1
+    emit(f"    mgr.compiled_effects += {trace.n_effects}")
+    ns = {
+        "TR": trace,
+        "F": trace.host_fns,
+        "C": const_list,
+        "_C": Compute,
+        "_FR": FusedRead,
+        "_FRP": FusedReadPair,
+        "_R": RemoteRead,
+        "_RP": RemoteReadPair,
+        "_RB": RemoteReadBlock,
+        "_W": RemoteWrite,
+        "_WB": RemoteWriteBlock,
+        "_BW": BarrierWait,
+        "_TW": TokenWait,
+        "_TA": TokenAdvance,
+        "_SW": SwitchNow,
+    }
+    exec("\n".join(src), ns)
+    return ns["_replay"]
+
+
+def replay_member(trace: LiveTrace, ctx, args, P, mgr):
+    """Fast-path member generator: the compiled trace replay."""
+    return trace.replay_fn()(ctx, args, P, _Memo(), mgr)
+
+
+# ----------------------------------------------------------------------
+# Catch-up: re-execute the guest prefix against the memo, then go live
+# ----------------------------------------------------------------------
+
+
+def _shim_wrap(v, m: _Memo):
+    if v is None or isinstance(v, (bool, int, float, complex, str, bytes)):
+        return v
+    return _ShimVal(v, m)
+
+
+def _shim_unwrap(v):
+    if isinstance(v, _ShimVal):
+        return v._v
+    if type(v) is list:
+        return [_shim_unwrap(x) for x in v]
+    if type(v) is tuple:
+        return tuple(_shim_unwrap(x) for x in v)
+    return v
+
+
+class _ShimVal:
+    """Catch-up stand-in: serve memoized loads until drained, then real."""
+
+    __slots__ = ("_v", "_m")
+
+    def __init__(self, v, m: _Memo) -> None:
+        object.__setattr__(self, "_v", v)
+        object.__setattr__(self, "_m", m)
+
+    def __getitem__(self, key):
+        m = self._m
+        if m.loads:
+            return _shim_wrap(m.loads.popleft(), m)
+        return self._v[key]
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        m = object.__getattribute__(self, "_m")
+        if m.loads:
+            return _shim_wrap(m.loads.popleft(), m)
+        return getattr(object.__getattribute__(self, "_v"), name)
+
+    def __setattr__(self, name, value):
+        setattr(self._v, name, value)
+
+    def __setitem__(self, key, value):
+        # Writes are never memoized (they abort tracing), so by the
+        # time a re-executed prefix reaches one the queues are drained:
+        # apply it to the real object, exactly once.
+        self._v[key] = _shim_unwrap(value)
+
+    def __delitem__(self, key):
+        del self._v[key]
+
+    def __call__(self, *args, **kwargs):
+        return self._v(
+            *[_shim_unwrap(a) for a in args],
+            **{k: _shim_unwrap(v) for k, v in kwargs.items()},
+        )
+
+    def __iter__(self):
+        m = self._m
+        v = self._v
+        if m.loads and isinstance(v, (list, tuple)):
+            out = []
+            for i in range(len(v)):
+                if m.loads:
+                    out.append(_shim_wrap(m.loads.popleft(), m))
+                else:
+                    out.append(v[i])
+            return iter(out)
+        return iter(v)
+
+    def __len__(self):
+        return len(self._v)
+
+    def __bool__(self):
+        return bool(self._v)
+
+    def __contains__(self, item):
+        return _shim_unwrap(item) in self._v
+
+    def __eq__(self, other):
+        return self._v == _shim_unwrap(other)
+
+    def __ne__(self, other):
+        return self._v != _shim_unwrap(other)
+
+    def __hash__(self):
+        return hash(self._v)
+
+
+class _ShimCtx:
+    """A ``ThreadCtx`` stand-in for catch-up re-execution."""
+
+    __slots__ = ("_real", "_m", "pe", "n_pes")
+
+    def __init__(self, real, memo: _Memo) -> None:
+        self._real = real
+        self._m = memo
+        self.pe = real.pe
+        self.n_pes = real.n_pes
+
+    @property
+    def mem(self):
+        return _ShimVal(self._real.mem, self._m)
+
+    @property
+    def state(self):
+        return _ShimVal(self._real.state, self._m)
+
+    @property
+    def tid(self):
+        return self._real.tid
+
+    def ga(self, pe, offset):
+        return self._real.ga(_shim_unwrap(pe), _shim_unwrap(offset))
+
+    def host(self, fn, *args):
+        m = self._m
+        if m.hosts:
+            # The traced run already executed this host call and applied
+            # its side effects; serve the memoized result instead.
+            return _shim_wrap(m.hosts.popleft(), m)
+        return self._real.host(
+            _shim_unwrap(fn), *[_shim_unwrap(a) for a in args]
+        )
+
+
+def _shim_fwd(name: str):
+    def method(self, *args):
+        return getattr(self._real, name)(*[_shim_unwrap(a) for a in args])
+
+    method.__name__ = name
+    return method
+
+
+for _name in (
+    "compute",
+    "read",
+    "read_pair",
+    "read_block",
+    "write",
+    "write_block",
+    "spawn",
+    "call",
+    "reply",
+    "barrier_wait",
+    "token_wait",
+    "token_advance",
+    "switch",
+):
+    setattr(_ShimCtx, _name, _shim_fwd(_name))
+del _name
+
+
+def catch_up(func: Callable, ctx, args: tuple, memo: _Memo, n_yields: int):
+    """Residual interpreter tail after an abort or replay divergence.
+
+    Re-runs ``func`` from the top with a :class:`_ShimCtx`: the first
+    ``n_yields`` effects (already delivered to the EXU) are swallowed,
+    with suspending resumes served from the memo; once the queues drain
+    the re-execution has caught up with reality and the remaining
+    effects pass through live.
+    """
+    gen = func(_ShimCtx(ctx, memo), *args)
+    send = None
+    for _ in range(n_yields):
+        try:
+            eff = gen.send(send)
+        except StopIteration:
+            return
+        send = (
+            _shim_wrap(memo.resumes.popleft(), memo) if eff.suspends else None
+        )
+    while True:
+        try:
+            eff = gen.send(send)
+        except StopIteration:
+            return
+        send = yield eff
+
+
+# ----------------------------------------------------------------------
+# Validated members: scalar op walker locksteps a shim-fed shadow
+# ----------------------------------------------------------------------
+
+
+def _walk(trace: LiveTrace, ctx, args: tuple, P, memo: _Memo):
+    """Unfused scalar replay: yields ('eff', e) items, or ('diverge', i)."""
+    pe, n_pes = ctx.pe, ctx.n_pes
+    st, mem, ga = ctx.state, ctx.mem, ctx.ga
+    S = [None] * trace.n_slots
+    F = trace.host_fns
+    for idx, op in enumerate(trace.ops):
+        tag = op[0]
+        try:
+            if tag == "load":
+                S[op[1]] = v = _eval_scalar(op[2], pe, n_pes, args, S, P, st, mem, ga)
+                memo.loads.append(v)
+            elif tag == "guard":
+                if _eval_scalar(op[1], pe, n_pes, args, S, P, st, mem, ga) != op[2]:
+                    yield ("diverge", idx)
+                    return
+            elif tag == "host":
+                S[op[1]] = v = F[op[2]](
+                    *[_eval_scalar(a, pe, n_pes, args, S, P, st, mem, ga) for a in op[3]]
+                )
+                memo.hosts.append(v)
+            else:  # eff
+                eff = getattr(ctx, op[1])(
+                    *[_eval_scalar(a, pe, n_pes, args, S, P, st, mem, ga) for a in op[2]]
+                )
+                if op[3]:
+                    S[op[4]] = yield ("eff", eff)
+                else:
+                    yield ("eff", eff)
+        except GeneratorExit:
+            raise
+        except Exception:
+            yield ("diverge", idx)
+            return
+
+
+def replay_validated_live(trace: LiveTrace, cohort, ctx, args: tuple, P, mgr):
+    """Lockstep live member: walker produces, a real shadow verifies.
+
+    The walker pushes every load/host value onto the shared memo; the
+    shadow — the real guest generator running against a
+    :class:`_ShimCtx` over the same memo — consumes them, so host
+    mutations happen exactly once.  Effects are compared one by one;
+    a mismatch is the per-thread bailout (strict → CompileDivergence),
+    a walker guard divergence silently hands over to the shadow, which
+    is a correctly-positioned real execution.
+    """
+    memo = _Memo()
+    shadow = trace.func(_ShimCtx(ctx, memo), *args)
+    walker = _walk(trace, ctx, args, P, memo)
+
+    def stepper():
+        send = None
+        n = 0
+        while True:
+            try:
+                item = walker.send(send)
+            except StopIteration:
+                item = None
+            if item is None:
+                # Trace complete — the shadow must finish too.
+                try:
+                    s_eff = shadow.send(send)
+                except StopIteration:
+                    mgr.compiled_effects += n
+                    return
+                mgr._bailout(cohort, ctx.pe, n, None, s_eff)
+                while True:
+                    send2 = yield s_eff
+                    try:
+                        s_eff = shadow.send(send2)
+                    except StopIteration:
+                        return
+            if item[0] == "diverge":
+                # By-design data divergence: silent shadow takeover.
+                mgr.replay_divergences += 1
+                mgr._emit("catchup", ctx.pe, trace.func_name, item[1])
+                while True:
+                    try:
+                        s_eff = shadow.send(send)
+                    except StopIteration:
+                        return
+                    send = yield s_eff
+            eff = item[1]
+            try:
+                s_eff = shadow.send(send)
+            except StopIteration:
+                mgr._bailout(cohort, ctx.pe, n, eff, None)
+                return
+            if type(s_eff) is not type(eff) or s_eff != eff:
+                mgr._bailout(cohort, ctx.pe, n, eff, s_eff)
+                send = yield s_eff
+                while True:
+                    try:
+                        s_eff = shadow.send(send)
+                    except StopIteration:
+                        return
+                    send = yield s_eff
+            send = yield s_eff
+            n += 1
+
+    return stepper()
+
+
+class LiveCohort:
+    """Per-run stats for the members replaying one LiveTrace."""
+
+    __slots__ = ("trace", "members", "validated", "bailouts")
+
+    def __init__(self, trace: LiveTrace) -> None:
+        self.trace = trace
+        self.members = 0
+        self.validated = 0
+        self.bailouts = 0
+
+
+# ----------------------------------------------------------------------
+# Cross-run trace registry and batched admission
+# ----------------------------------------------------------------------
+
+_REGISTRY: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: Cross-run admission memo: func -> {(pe, args): [traces, MRU-first]}.
+#: Deterministic sweeps re-spawn the same (pe, args) members run after
+#: run, and the trace that admitted a member once admits it again — so
+#: a verified memo hit replaces the linear guard scan over every
+#: registered trace (the scan is quadratic in member count when each
+#: data-dependent member records its own shape).  Each entry keeps a
+#: short most-recent-first candidate list, not a single trace: a sweep
+#: cycling through shapes (the fig6 h sweep) maps the same (pe, args)
+#: to a different trace per point, and a single slot would thrash.
+_ADMIT_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+#: Admission-memo entries per function before the memo recycles.
+MAX_MEMO_PER_FUNC = 65536
+
+#: Candidate traces remembered per (pe, args) key.
+MAX_MEMO_CANDIDATES = 8
+
+
+def lookup_traces(func: Callable, n_args: int) -> list:
+    per = _REGISTRY.get(func)
+    if per is None:
+        return []
+    return per.get(n_args, [])
+
+
+def register_trace(trace: LiveTrace) -> bool:
+    """Add a freshly recorded trace; returns False on dedup/cap drop."""
+    per = _REGISTRY.setdefault(trace.func, {})
+    traces = per.setdefault(trace.n_args, [])
+    if len(traces) >= MAX_TRACES_PER_KEY:
+        return False
+    for t in traces:
+        if t.ops == trace.ops and t.host_fns == trace.host_fns:
+            return False
+    traces.append(trace)
+    return True
+
+
+def clear_registry() -> None:
+    """Forget all recorded traces (cold-start for benchmarks/tests)."""
+    _REGISTRY.clear()
+    _ADMIT_MEMO.clear()
+
+
+def assign_traces(traces: list, members: list) -> list:
+    """Admission for a batch: pick each member's trace (or None).
+
+    ``members`` is a list of ``(pe, n_pes, args, state)``.  Class-1
+    guard masks are evaluated vectorized over numpy member columns when
+    available (one column per int argument plus the PE column); class-2
+    guards are checked scalar per surviving member.
+    """
+    n = len(members)
+    result: list = [None] * n
+    if not traces or not n:
+        return result
+    masks = None
+    if HAVE_NUMPY and n > 1:
+        try:
+            n_pes = members[0][1]
+            n_args = traces[0].n_args
+            if all(
+                len(m[2]) == n_args
+                and all(isinstance(a, int) and not isinstance(a, bool) for a in m[2])
+                for m in members
+            ):
+                pes = np.array([m[0] for m in members], dtype=np.int64)
+                argcols = [
+                    np.array([m[2][i] for m in members], dtype=np.int64)
+                    for i in range(n_args)
+                ]
+                masks = []
+                for t in traces:
+                    mask = np.ones(n, dtype=bool)
+                    for expr, outcome in t.admission:
+                        v = _vec_eval(expr, pes, argcols, n_pes)
+                        mask &= np.asarray(v == outcome, dtype=bool)
+                    masks.append(mask)
+        except Exception:
+            masks = None
+    for i, (pe, n_pes, args, state) in enumerate(members):
+        for j, t in enumerate(traces):
+            if len(args) != t.n_args:
+                continue
+            if masks is not None:
+                if not masks[j][i]:
+                    continue
+                if not t.admits_class2(pe, n_pes, args, state):
+                    continue
+                result[i] = t
+                break
+            if t.admits(pe, n_pes, args, state):
+                result[i] = t
+                break
+    return result
+
+
+def assign_traces_memo(func: Callable, traces: list, members: list) -> tuple:
+    """Memo-first batch admission; returns ``(assigned, guards_checked)``.
+
+    Each member is first checked against the trace that admitted the
+    same ``(pe, args)`` key last time (one trace's guards); only memo
+    misses fall back to the :func:`assign_traces` scan over every
+    registered trace.  Deterministic sweeps hit the memo on every run
+    after the first, turning admission from O(traces x guards) into
+    O(guards) per member.  Members with unhashable args always scan.
+    """
+    n = len(members)
+    result: list = [None] * n
+    if not traces or not n:
+        return result, 0
+    memo = _ADMIT_MEMO.get(func)
+    if memo is None:
+        memo = _ADMIT_MEMO[func] = {}
+    checked = 0
+    misses = []
+    keys: list = [None] * n
+    for i, (pe, n_pes, args, state) in enumerate(members):
+        try:
+            candidates = memo.get((pe, args))
+        except TypeError:
+            misses.append(i)
+            continue
+        keys[i] = (pe, args)
+        for t in candidates or ():
+            checked += len(t.admission) + len(t.class2)
+            if len(args) == t.n_args and t.admits(pe, n_pes, args, state):
+                result[i] = t
+                if t is not candidates[0]:
+                    candidates.remove(t)
+                    candidates.insert(0, t)
+                break
+        else:
+            misses.append(i)
+    if misses:
+        scanned = assign_traces(traces, [members[i] for i in misses])
+        checked += sum(
+            len(t.admission) + len(t.class2) for t in traces
+        ) * len(misses)
+        if len(memo) > MAX_MEMO_PER_FUNC:
+            memo.clear()
+        for i, tr in zip(misses, scanned):
+            result[i] = tr
+            if tr is not None and keys[i] is not None:
+                candidates = memo.setdefault(keys[i], [])
+                if tr not in candidates:
+                    candidates.insert(0, tr)
+                    del candidates[MAX_MEMO_CANDIDATES:]
+                else:
+                    candidates.remove(tr)
+                    candidates.insert(0, tr)
+    return result, checked

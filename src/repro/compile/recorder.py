@@ -60,7 +60,16 @@ _EFF = "eff"
 
 
 class RecordingUnsupported(Exception):
-    """The thread's shape cannot be recorded; fall back to the interpreter."""
+    """The thread's shape cannot be recorded; fall back to the interpreter.
+
+    ``reason`` is a short machine-readable category (``"state"``,
+    ``"mem"``, ``"hostcall"``, ``"operand"``, ...) surfaced in the
+    cohort report's per-reason bail breakdown.
+    """
+
+    def __init__(self, message: str = "", reason: str = "other") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 # ----------------------------------------------------------------------
@@ -185,11 +194,21 @@ class _Sym:
         self._e = expr
         self._rec = rec
 
+    def __getattr__(self, name):
+        # Safety net: a method/attribute we did not explicitly model
+        # must abort recording, never leak an AttributeError into the
+        # guest body.
+        raise RecordingUnsupported(
+            f"attribute {name!r} on a tracked {type(self).__name__} value",
+            reason="operand",
+        )
+
 
 def _unsupported(op_name: str):
     def method(self, *args, **kwargs):
         raise RecordingUnsupported(
-            f"{op_name} on a tracked {type(self).__name__} value"
+            f"{op_name} on a tracked {type(self).__name__} value",
+            reason="operand",
         )
 
     method.__name__ = op_name
@@ -332,6 +351,11 @@ class _SymInt(_Sym):
         self._rec.guard(("cmp", "eq", self._e, ("const", self._c)), True)
         return self._c
 
+    def bit_length(self):
+        # ilog2() and friends: pin the operand, return the concrete.
+        self._rec.guard(("cmp", "eq", self._e, ("const", self._c)), True)
+        return self._c.bit_length()
+
     __hash__ = _unsupported("__hash__")
     __str__ = _unsupported("__str__")
     __format__ = _unsupported("__format__")
@@ -417,15 +441,20 @@ class _RecCtx:
     # -- blocked surfaces ------------------------------------------------
     @property
     def mem(self):
-        raise RecordingUnsupported("thread touches ctx.mem")
+        raise RecordingUnsupported("thread touches ctx.mem", reason="mem")
 
     @property
     def state(self):
-        raise RecordingUnsupported("thread touches ctx.state")
+        raise RecordingUnsupported("thread touches ctx.state", reason="state")
 
     @property
     def tid(self):
-        raise RecordingUnsupported("thread touches ctx.tid")
+        raise RecordingUnsupported("thread touches ctx.tid", reason="tid")
+
+    def host(self, fn, *args):
+        # Host computations are data-dependent by definition: the pure
+        # symbolic tier cannot model them.  The live tier can.
+        raise RecordingUnsupported("thread makes a host call", reason="hostcall")
 
     # -- addressing ------------------------------------------------------
     def ga(self, pe, offset):

@@ -26,6 +26,8 @@ from typing import Any
 from ..core.effects import (
     BarrierWait,
     Compute,
+    FusedRead,
+    FusedReadPair,
     RemoteRead,
     RemoteReadPair,
     RemoteWrite,
@@ -320,6 +322,21 @@ def run_trace(prog: TraceProgram, ctx, args: tuple):
             R[op[1]] = 0
         elif o == EFF_READ:
             if pending:
+                # Fuse the pending compute charge into the read packet.
+                # Probe the operand conversions first: on any failure
+                # the charge must still flush as its own Compute before
+                # the original path re-raises the identical error.
+                addr = None
+                try:
+                    pe = int(R[op[2]])
+                    if 0 <= pe < n_pes:
+                        addr = GlobalAddress(pe, int(R[op[3]]))
+                except Exception:
+                    pass
+                if addr is not None:
+                    R[op[1]] = yield FusedRead(pending, addr)
+                    pending = 0
+                    continue
                 eff = cget(pending)
                 if eff is None:
                     eff = computes[pending] = Compute(pending)
@@ -331,6 +348,19 @@ def run_trace(prog: TraceProgram, ctx, args: tuple):
             R[op[1]] = yield RemoteRead(GlobalAddress(pe, int(R[op[3]])))
         elif o == EFF_READ2:
             if pending:
+                addr_a = addr_b = None
+                try:
+                    pe = int(R[op[2]])
+                    if 0 <= pe < n_pes:
+                        addr_a = GlobalAddress(pe, int(R[op[3]]))
+                        addr_b = GlobalAddress(pe, int(R[op[4]]))
+                except Exception:
+                    addr_a = None
+                if addr_a is not None and addr_b is not None:
+                    pair = yield FusedReadPair(pending, addr_a, addr_b)
+                    R[op[1]] = list(pair)
+                    pending = 0
+                    continue
                 eff = cget(pending)
                 if eff is None:
                     eff = computes[pending] = Compute(pending)

@@ -23,6 +23,8 @@ from ..packet import GlobalAddress
 __all__ = [
     "Effect",
     "Compute",
+    "FusedRead",
+    "FusedReadPair",
     "RemoteRead",
     "RemoteReadPair",
     "RemoteReadBlock",
@@ -63,6 +65,41 @@ class RemoteRead(Effect):
 
     addr: GlobalAddress
     suspends = True
+
+
+@dataclass(slots=True)
+class FusedRead(Effect):
+    """``Compute(cycles)`` immediately followed by ``RemoteRead(addr)``.
+
+    Emitted only by the compiled cohort tiers: a trace replay knows at
+    compile time that a compute charge is followed by a remote read, so
+    it fuses the pair into one yield.  The EXU accounts for it exactly
+    as the two-effect sequence would — same cycle charges, same packet
+    offsets, same counters — so fused and unfused runs are
+    byte-identical.  ``cycles`` may be zero (a bare read).
+    """
+
+    cycles: int
+    addr: GlobalAddress
+    suspends = True
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ThreadProtocolError(f"negative compute cycles {self.cycles}")
+
+
+@dataclass(slots=True)
+class FusedReadPair(Effect):
+    """``Compute(cycles)`` followed by ``RemoteReadPair(a, b)``, fused."""
+
+    cycles: int
+    addr_a: GlobalAddress
+    addr_b: GlobalAddress
+    suspends = True
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ThreadProtocolError(f"negative compute cycles {self.cycles}")
 
 
 @dataclass(slots=True)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["format_table", "format_series", "format_windows"]
+__all__ = ["format_table", "format_cohort", "format_series", "format_windows"]
 
 
 def _cell(value: Any) -> str:
@@ -34,6 +34,47 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], title: s
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_cohort(cohort: dict) -> str:
+    """Render ``MachineReport.cohort`` (cohort-compiler diagnostics).
+
+    One occupancy line — what fraction of guest threads ran on a
+    compiled tier and through which tier they went — followed by the
+    recorder/tracer outcome counters and, when any recording bailed, a
+    per-reason breakdown of why threads fell back to the interpreter.
+    """
+    tiers = []
+    for label, key in (
+        ("emc-codegen", "emc_codegen_threads"),
+        ("emc-trace", "emc_trace_threads"),
+        ("emc-interp", "emc_interp_threads"),
+        ("gen-compiled", "gen_compiled_threads"),
+        ("gen-traced", "gen_traced_threads"),
+        ("gen-replayed", "gen_replayed_threads"),
+        ("gen-interp", "gen_interpreted_threads"),
+    ):
+        if cohort.get(key):
+            tiers.append(f"{label} {cohort[key]}")
+    lines = [
+        f"cohorts: occupancy {cohort['occupancy']:.2f}  "
+        + (", ".join(tiers) if tiers else "no guest threads")
+        + ("" if cohort.get("numpy") else "  [no numpy: scalar tables]")
+    ]
+    lines.append(
+        f"  cohorts={cohort['cohorts']} (largest {cohort['max_cohort_members']})  "
+        f"records={cohort['records']}  live_traces={cohort['live_traces']}  "
+        f"validated={cohort['gen_validated_threads']}  "
+        f"guards={cohort['guards_checked']}  bailouts={cohort['bailouts']}  "
+        f"divergences={cohort['replay_divergences']}"
+    )
+    reasons = cohort.get("record_failure_reasons") or {}
+    if reasons:
+        lines.append(
+            f"  record bails ({cohort['record_failures']}): "
+            + ", ".join(f"{r} x{n}" for r, n in sorted(reasons.items()))
+        )
     return "\n".join(lines)
 
 

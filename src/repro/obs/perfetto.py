@@ -17,7 +17,10 @@ Serialises a recorded event stream to the JSON trace-event format that
 * a ``shards`` pseudo-process with one track per shard, carrying the
   window-protocol schedule of sharded runs (SHARD-category
   :class:`~repro.obs.events.ShardWindow` events — recorded only by
-  subscribers that opted into the category).
+  subscribers that opted into the category);
+* instant ``cohort:*`` markers on the PE tracks for cohort-compiler
+  progress (:class:`~repro.obs.events.CohortEvent` — present only on
+  ``compiled=True`` runs).
 
 Timestamps are microseconds (the trace-event unit) at the EM-X's
 20 MHz clock: one cycle = 0.05 µs.  :func:`validate_perfetto` is the
@@ -33,6 +36,7 @@ from ..config import CYCLE_SECONDS
 from .events import (
     BarrierEvent,
     BurstSpan,
+    CohortEvent,
     FastForward,
     MatchEvent,
     PacketDeliver,
@@ -148,6 +152,21 @@ def to_perfetto(events, *, n_pes: int | None = None) -> dict:
         elif et is ShardWindow:
             shards.add(ev.shard)
             trace.append(ev)
+        elif et is CohortEvent:
+            # Compiler progress markers (record/trace/bail/bailout) on
+            # the PE track — present only on compiled runs, so default
+            # interpreted exports are untouched.
+            pes.add(ev.pe)
+            trace.append({
+                "name": f"cohort:{ev.kind}",
+                "cat": "cohort",
+                "ph": "i",
+                "s": "t",
+                "ts": _us(ev.t),
+                "pid": ev.pe,
+                "tid": EXU_TID,
+                "args": {"thread": ev.name, "n": ev.n},
+            })
         elif et is MatchEvent:
             pes.add(ev.pe)
             trace.append({

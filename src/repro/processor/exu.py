@@ -25,6 +25,8 @@ from ..core.effects import (
     BarrierWait,
     Call,
     Compute,
+    FusedRead,
+    FusedReadPair,
     RemoteRead,
     RemoteReadBlock,
     RemoteReadPair,
@@ -371,6 +373,53 @@ class ExecutionUnit:
                 break
 
             elif et is RemoteReadPair:
+                over += 2 * pkt_gen
+                sw += reg_save
+                cid = proc.continuations.register(thread, tag="pair")
+                for slot, addr in ((0, eff.addr_a), (1, eff.addr_b)):
+                    emits.append(
+                        (
+                            comp + over + sw,
+                            Packet(
+                                kind=PacketKind.READ_REQ,
+                                src=pe,
+                                dst=addr.pe,
+                                address=addr.packed(),
+                                data=("pair", cid, slot),
+                            ),
+                        )
+                    )
+                counters.reads_issued += 2
+                self._switch(SwitchKind.REMOTE_READ, thread)
+                thread.transition(ThreadState.WAIT_READ)
+                break
+
+            elif et is FusedRead:
+                # A compiled ``Compute(c)`` + ``RemoteRead(addr)`` pair in
+                # one effect: identical accounting, half the yields.
+                comp += eff.cycles
+                over += pkt_gen
+                sw += reg_save
+                cid = proc.continuations.register(thread)
+                emits.append(
+                    (
+                        comp + over + sw,
+                        Packet(
+                            kind=PacketKind.READ_REQ,
+                            src=pe,
+                            dst=eff.addr.pe,
+                            address=eff.addr.packed(),
+                            data=cid,
+                        ),
+                    )
+                )
+                counters.reads_issued += 1
+                self._switch(SwitchKind.REMOTE_READ, thread)
+                thread.transition(ThreadState.WAIT_READ)
+                break
+
+            elif et is FusedReadPair:
+                comp += eff.cycles
                 over += 2 * pkt_gen
                 sw += reg_save
                 cid = proc.continuations.register(thread, tag="pair")

@@ -54,15 +54,15 @@ def test_emc_front_end_fully_compiled():
     assert cohort["emc_codegen_threads"] > 0
 
 
-def test_native_sort_bails_gracefully():
-    """Native sort's merge workers branch on remote data — the recorder
-    declines them, they run interpreted, and the run is *still*
-    byte-identical (the fallback is per-thread, never per-run)."""
+def test_native_sort_live_traces_byte_identically():
+    """Native sort's merge workers branch on remote data — the pure
+    recorder declines them, the live tier traces them for real, and the
+    run is *still* byte-identical."""
     harness = CompileDifferentialHarness("sort", seed=0)
     result = harness.check(n_pes=4, n=64, h=2)
     cohort = result.compiled.cohort
-    assert cohort["record_failures"] > 0
-    assert cohort["gen_interpreted_threads"] > 0
+    assert cohort["gen_traced_threads"] > 0
+    assert cohort["live_traces"] > 0
     assert result.identical
 
 

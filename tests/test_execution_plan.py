@@ -119,6 +119,33 @@ def test_hybrid_config_under_sharded_plan_warns_and_runs():
     assert report_to_dict(report) == report_to_dict(base)
 
 
+def test_compiled_with_hybrid_warns_but_is_legal():
+    with pytest.warns(PlanCompatibilityWarning, match="compiled=True.*hybrid"):
+        plan = ExecutionPlan(fidelity="hybrid", compiled=True).validate()
+    assert plan == ExecutionPlan(fidelity="hybrid", compiled=True)
+
+
+def test_compiled_under_hybrid_keeps_metric_identity():
+    """compiled= changes strategy, never numbers — also at hybrid
+    fidelity.  Only the diagnostic cohort section may differ (the
+    interpreted run has none)."""
+    from repro.compile.live import clear_registry
+
+    with pytest.warns(PlanCompatibilityWarning, match="fast-forward miss"):
+        compiled = repro.run(
+            "sort", n=128, n_pes=8, h=2,
+            plan=ExecutionPlan(fidelity="hybrid", compiled=True),
+        )
+    clear_registry()
+    interp = repro.run(
+        "sort", n=128, n_pes=8, h=2, plan=ExecutionPlan(fidelity="hybrid")
+    )
+    dc, di = report_to_dict(compiled), report_to_dict(interp)
+    assert dc.pop("cohort") is not None
+    assert di.pop("cohort", None) is None
+    assert dc == di
+
+
 def test_strict_cohorts_without_compiled_warns():
     from repro.compile import strict_cohorts
 
@@ -141,7 +168,13 @@ def test_run_plan_matches_legacy_shards_keyword():
 
 
 def test_run_plan_compiled_matches_legacy_compiled_keyword():
+    from repro.compile.live import clear_registry
+
     planned = repro.run("sort", n=32, n_pes=4, h=1, plan=ExecutionPlan(compiled=True))
+    # Cold-start the second run too: the live-trace registry is warm
+    # after the first, which would change the (diagnostic) cohort
+    # section this test compares in full.
+    clear_registry()
     with pytest.warns(DeprecationWarning, match="compiled=.*deprecated"):
         legacy = repro.run("sort", n=32, n_pes=4, h=1, compiled=True)
     assert planned.cohort is not None
@@ -220,6 +253,17 @@ def test_cli_plan_flag_runs_and_prints_window_summary(capsys):
     out = capsys.readouterr().out
     assert "OK" in out
     assert "window protocol: adaptive" in out
+
+
+def test_cli_compiled_plan_prints_cohort_diagnostics(capsys):
+    from repro.__main__ import main
+
+    main(["sort", "--pes", "4", "--size", "16", "--threads", "2",
+          "--plan", "compiled"])
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "cohorts: occupancy" in out
+    assert "live_traces=" in out
 
 
 def test_cli_plan_conflicts_with_legacy_flags():
